@@ -1,0 +1,133 @@
+// ABLATE — design-choice ablations called out in DESIGN.md §4.
+//
+// (a) Obsolescence threshold (paper §2: "It is often possible to save
+//     considerable CPU cycles by allowing pages to remain in the cache
+//     which are only slightly obsolete."). Sweep the trigger monitor's
+//     threshold and measure regeneration work saved vs the staleness
+//     actually incurred (cached pages whose body differs from a fresh
+//     render at end of day).
+//
+// (b) Change-batch coalescing: the trigger monitor drains up to batch_max
+//     queued commits into one DUP run. A burst of results for the same
+//     event then regenerates each affected page once instead of per
+//     commit. Sweep batch_max under a bursty feed.
+#include <cinttypes>
+#include <set>
+
+#include "bench_util.h"
+#include "core/serving_site.h"
+#include "workload/feed.h"
+
+using namespace nagano;
+
+namespace {
+
+core::SiteOptions BaseSite() {
+  core::SiteOptions options;
+  options.olympic.days = 16;
+  options.olympic.num_sports = 7;
+  options.olympic.events_per_sport = 10;
+  options.olympic.athletes_per_event = 12;
+  options.olympic.num_countries = 24;
+  return options;
+}
+
+struct DayOutcome {
+  uint64_t pages_rendered = 0;
+  uint64_t dup_runs = 0;
+  size_t stale_pages = 0;
+  size_t checked_pages = 0;
+};
+
+// Runs one feed day under the given trigger options; afterwards counts how
+// many cached pages differ from a fresh render (staleness debt).
+DayOutcome RunDay(trigger::TriggerOptions trigger_options, bool quiesce_each) {
+  core::SiteOptions options = BaseSite();
+  options.trigger = trigger_options;
+  auto site_or = core::ServingSite::Create(std::move(options));
+  if (!site_or.ok()) std::abort();
+  auto& site = *site_or.value();
+  if (!site.PrefetchAll().ok()) std::abort();
+  const uint64_t prefetch_renders = site.renderer().stats().pages_rendered;
+  site.StartTrigger();
+
+  workload::ResultFeed feed(&site.db(), workload::FeedOptions{}, 17);
+  for (const auto& update : feed.BuildDaySchedule(1)) {
+    (void)feed.Apply(update);
+    // quiesce_each=true defeats coalescing (batch size 1 effectively);
+    // false lets the queue build bursts for the monitor to coalesce.
+    if (quiesce_each) site.Quiesce();
+  }
+  site.Quiesce();
+  site.StopTrigger();
+
+  DayOutcome out;
+  out.pages_rendered = site.renderer().stats().pages_rendered - prefetch_renders;
+  out.dup_runs = site.trigger_monitor().stats().dup_runs;
+  for (const auto& page : pagegen::OlympicSite::AllPageNames(
+           site.olympic_config(), site.db())) {
+    const auto cached = site.cache().Peek(page);
+    if (cached == nullptr) continue;
+    ++out.checked_pages;
+    auto fresh = site.renderer().RenderOnly(page);
+    if (fresh.ok() && fresh.value() != cached->body) ++out.stale_pages;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("ABLATE", "threshold obsolescence & batch coalescing");
+
+  bench::Section("(a) obsolescence threshold sweep (update-in-place)");
+  bench::Row("%-10s %14s %10s %14s", "threshold", "regenerations", "stale",
+             "stale share");
+  const double thresholds[] = {0.0, 0.25, 0.6};
+  DayOutcome threshold_results[3];
+  for (size_t i = 0; i < std::size(thresholds); ++i) {
+    trigger::TriggerOptions topts;
+    topts.policy = trigger::CachePolicy::kDupUpdateInPlace;
+    topts.obsolescence_threshold = thresholds[i];
+    threshold_results[i] = RunDay(topts, /*quiesce_each=*/true);
+    bench::Row("%-10.2f %14" PRIu64 " %10zu %13.1f%%", thresholds[i],
+               threshold_results[i].pages_rendered,
+               threshold_results[i].stale_pages,
+               100.0 * static_cast<double>(threshold_results[i].stale_pages) /
+                   static_cast<double>(threshold_results[i].checked_pages));
+  }
+
+  bench::Section("(b) change-batch coalescing sweep");
+  bench::Row("%-10s %10s %14s", "batch_max", "DUP runs", "regenerations");
+  const size_t batches[] = {1, 16, 256};
+  DayOutcome batch_results[3];
+  for (size_t i = 0; i < std::size(batches); ++i) {
+    trigger::TriggerOptions topts;
+    topts.policy = trigger::CachePolicy::kDupUpdateInPlace;
+    topts.batch_max = batches[i];
+    batch_results[i] = RunDay(topts, /*quiesce_each=*/false);
+    bench::Row("%-10zu %10" PRIu64 " %14" PRIu64, batches[i],
+               batch_results[i].dup_runs, batch_results[i].pages_rendered);
+  }
+
+  bench::Section("checks");
+  bench::CompareText(
+      "higher threshold saves regeneration work", "yes",
+      threshold_results[2].pages_rendered < threshold_results[0].pages_rendered
+          ? "yes"
+          : "no");
+  bench::CompareText(
+      "threshold 0 leaves nothing stale", "0 stale",
+      threshold_results[0].stale_pages == 0 ? "0 stale" : "stale found");
+  bench::CompareText(
+      "staleness grows with threshold", "yes",
+      threshold_results[2].stale_pages >= threshold_results[0].stale_pages
+          ? "yes"
+          : "no");
+  bench::CompareText(
+      "coalescing reduces regenerations", "yes",
+      batch_results[2].pages_rendered <= batch_results[0].pages_rendered
+          ? "yes"
+          : "no");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure/table reproduction binaries. Each bench
+// prints the paper artifact it regenerates in a form directly comparable
+// to the paper (same rows/series), plus the model inputs it used.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace nagano::bench {
+
+inline void Header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Paper-vs-measured footer line used by EXPERIMENTS.md scraping.
+inline void Compare(const char* metric, double paper, double measured,
+                    const char* unit) {
+  std::printf("[compare] %-38s paper=%-12.4g measured=%-12.4g %s\n", metric,
+              paper, measured, unit);
+}
+
+inline void CompareText(const char* metric, const char* paper,
+                        const char* measured) {
+  std::printf("[compare] %-38s paper=%-12s measured=%-12s\n", metric, paper,
+              measured);
+}
+
+}  // namespace nagano::bench

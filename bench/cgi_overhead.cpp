@@ -1,0 +1,113 @@
+// CGI — the §2 interface motivation:
+//
+//   "In order to achieve these rates, the Common Gateway Interface (CGI)
+//    for invoking server programs cannot be used because it incurs too
+//    much overhead. Instead, an interface such as FastCGI ... should be
+//    used. Our system used the FastCGI interface."
+//
+// Method: measure the *real* cost of the two invocation styles on this
+// machine. CGI = fork + exec a process per request (we exec /bin/true, the
+// cheapest possible "server program" — real CGI also pays interpreter
+// startup). FastCGI-equivalent = calling the resident server program
+// in-process, as src/server does. The ratio is the paper's argument.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cache/object_cache.h"
+#include "odg/graph.h"
+#include "pagegen/renderer.h"
+#include "server/serving.h"
+
+using namespace nagano;
+
+namespace {
+
+// One CGI-style invocation: fork, exec, reap.
+bool SpawnOnce(const char* program) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::execl(program, program, static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("CGI", "CGI fork/exec vs FastCGI-style resident program");
+
+  // --- CGI path: process per request -------------------------------------
+  constexpr int kCgiRequests = 300;
+  int ok = 0;
+  const auto cgi_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCgiRequests; ++i) ok += SpawnOnce("/bin/true");
+  const double cgi_seconds = SecondsSince(cgi_start);
+  if (ok != kCgiRequests) {
+    std::fprintf(stderr, "spawn failures: %d/%d\n", kCgiRequests - ok,
+                 kCgiRequests);
+    return 1;
+  }
+  const double cgi_us = cgi_seconds / kCgiRequests * 1e6;
+
+  // --- FastCGI-equivalent: resident server program ------------------------
+  odg::ObjectDependenceGraph graph;
+  cache::ObjectCache cache;
+  pagegen::PageRenderer renderer(&graph, &cache);
+  renderer.RegisterExact("/page", [](const pagegen::RenderRequest&) {
+    return Result<std::string>("<html>dynamic body</html>");
+  });
+  server::DynamicPageServer program(&cache, &renderer);
+  (void)program.Serve("/page");  // warm the cache
+
+  constexpr int kResidentRequests = 2'000'000;
+  const auto resident_start = std::chrono::steady_clock::now();
+  size_t bytes = 0;
+  for (int i = 0; i < kResidentRequests; ++i) {
+    bytes += program.Serve("/page", /*include_body=*/false).bytes;
+  }
+  const double resident_seconds = SecondsSince(resident_start);
+  const double resident_us = resident_seconds / kResidentRequests * 1e6;
+  if (bytes == 0) return 1;
+
+  bench::Section("measured cost per request");
+  bench::Row("CGI (fork+exec /bin/true):        %10.1f us  (%d spawns)",
+             cgi_us, kCgiRequests);
+  bench::Row("FastCGI-style resident program:   %10.3f us  (%d serves)",
+             resident_us, kResidentRequests);
+  bench::Row("ratio: %.0fx", cgi_us / resident_us);
+
+  bench::Section("implications at Olympic load");
+  // Peak minute: 110,414 hits. What fraction of one CPU-minute would the
+  // invocation overhead alone consume under each interface?
+  const double peak = 110'414.0;
+  bench::Row("invocation overhead for the record minute: CGI %.1f "
+             "CPU-seconds, resident %.3f CPU-seconds",
+             peak * cgi_us / 1e6, peak * resident_us / 1e6);
+
+  bench::Section("paper comparison");
+  // At the paper's "several hundred dynamic pages per second" per node,
+  // what share of a CPU does the invocation mechanism alone burn? (On
+  // 1998-era hardware fork+exec cost ~10x more than here, i.e. over 100%.)
+  const double cgi_share_at_300rps = cgi_us * 300.0 / 1e6;
+  bench::Compare("CPU share of CGI invocation at 300 req/s", 1.0,
+                 cgi_share_at_300rps, "of one CPU (1998 hw: >1.0)");
+  bench::CompareText("CGI viable at several hundred req/s/node", "no",
+                     cgi_share_at_300rps > 0.2 ? "no" : "maybe");
+  bench::Compare("CGI/FastCGI overhead ratio", 1000.0, cgi_us / resident_us,
+                 "x (order of magnitude matters, not the constant)");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// FIG21 — "Traffic in billions of bytes" (paper Figure 21), plus the §4
+// sizing statement: ~10 KB per hit adding up to "a maximum of a terabyte of
+// data per day" at the projected 100M-hit ceiling.
+//
+// Method: replay the Fig. 20 day profile; each hit draws a transfer size
+// from the §4 model. A "hit" in the paper's counting is one object fetch —
+// the HTML or one embedded image — averaging ~10 KB; a full home-page view
+// (~50 KB with images) therefore shows up as several hits. Daily byte
+// totals are accumulated and printed in billions of bytes, the paper's
+// unit.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/profiles.h"
+
+using namespace nagano;
+
+int main() {
+  bench::Header("FIG21", "traffic in billions of bytes per day");
+
+  const auto& day_millions = workload::HitsByDayMillions();
+  const double sample_rate = 1.0 / 1000.0;
+
+  TimeSeries gbytes(day_millions.size());
+  Rng rng(21);
+  RunningStat per_hit;
+  for (size_t d = 0; d < day_millions.size(); ++d) {
+    const auto hits = static_cast<size_t>(day_millions[d] * 1e6 * sample_rate);
+    double bytes = 0;
+    for (size_t i = 0; i < hits; ++i) {
+      const double b = static_cast<double>(
+          workload::SampleTransferBytes(rng, /*is_home_page=*/false));
+      bytes += b;
+      per_hit.Add(b);
+    }
+    gbytes.Add(d, bytes / sample_rate / 1e9);
+  }
+
+  std::vector<std::string> labels;
+  for (size_t d = 1; d <= day_millions.size(); ++d) {
+    labels.push_back("Day " + std::to_string(d));
+  }
+  std::fputs(AsciiBarChart(gbytes, labels, 40).c_str(), stdout);
+
+  bench::Section("aggregates");
+  const size_t peak_day = gbytes.PeakSlot() + 1;
+  bench::Row("total: %.1f GB over the games; peak Day %zu at %.1f GB",
+             gbytes.total(), peak_day, gbytes.at(peak_day - 1));
+  bench::Row("mean transfer per hit: %.1f KB", per_hit.mean() / 1024.0);
+
+  // §4 provisioning: 100M hits/day x 10KB = ~1 TB/day ceiling. Our busiest
+  // simulated day must stay under it with the observed (lower) hit counts.
+  const double projected_tb_day =
+      100e6 * per_hit.mean() / 1e12;  // at the planning ceiling
+  bench::Compare("mean KB per hit (planning input)", 10.0,
+                 per_hit.mean() / 1024.0, "KB");
+  bench::Compare("TB/day at 100M-hit ceiling", 1.0, projected_tb_day, "TB");
+  bench::Compare("peak observed day traffic", 1000.0, gbytes.at(peak_day - 1),
+                 "GB (must be < 1000)");
+  bench::CompareText("traffic curve tracks hit curve", "yes",
+                     peak_day == 7 ? "yes (peak Day 7)" : "no");
+  return 0;
+}

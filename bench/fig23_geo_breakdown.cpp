@@ -1,0 +1,84 @@
+// FIG23 — "Breakdown of requests by geographic location" (paper Figure
+// 23), plus the §5 routing observation that during Japanese daytime peaks
+// the Tokyo complex absorbed most of the load (72K of 98K rpm during the
+// Men's Ski Jumping finals).
+//
+// Method: sample a games-scale request population from the region-mix
+// model, print the share per geography (the pie chart as a table/bars),
+// and run the same population through the MSIPR fabric to show where each
+// region's requests were actually served.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/fabric.h"
+#include "cluster/net.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/profiles.h"
+
+using namespace nagano;
+
+int main() {
+  bench::Header("FIG23", "requests by geographic location");
+
+  const auto& regions = workload::Regions();
+  constexpr size_t kSamples = 600'000;
+
+  SimClock clock;
+  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
+                                cluster::RegionCosts::OlympicDefault(), &clock);
+
+  std::vector<uint64_t> by_region(regions.size(), 0);
+  // served[region][complex]
+  std::vector<std::vector<uint64_t>> served(
+      regions.size(), std::vector<uint64_t>(fabric.num_complexes(), 0));
+
+  Rng rng(23);
+  for (size_t i = 0; i < kSamples; ++i) {
+    const size_t region = workload::SampleRegion(rng);
+    ++by_region[region];
+    const auto out =
+        fabric.Route(region, FromMillis(5), 10 * 1024, cluster::Lan10M());
+    if (out.served) ++served[region][out.complex_index];
+  }
+
+  bench::Section("request share by geography");
+  TimeSeries shares(regions.size());
+  std::vector<std::string> labels;
+  for (size_t r = 0; r < regions.size(); ++r) {
+    shares.Add(r, 100.0 * static_cast<double>(by_region[r]) / kSamples);
+    labels.push_back(regions[r].name);
+  }
+  std::fputs(AsciiBarChart(shares, labels, 40).c_str(), stdout);
+
+  bench::Section("where each region was served (MSIPR geographic routing)");
+  for (size_t r = 0; r < regions.size(); ++r) {
+    std::string line = regions[r].name + " ->";
+    for (size_t c = 0; c < fabric.num_complexes(); ++c) {
+      if (served[r][c] == 0) continue;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " %s %.0f%%",
+                    fabric.complex_name(c).c_str(),
+                    100.0 * static_cast<double>(served[r][c]) /
+                        static_cast<double>(by_region[r]));
+      line += buf;
+    }
+    bench::Row("%s", line.c_str());
+  }
+
+  bench::Section("checks");
+  for (size_t r = 0; r < regions.size(); ++r) {
+    bench::Compare(("share: " + regions[r].name).c_str(),
+                   regions[r].share * 100.0, shares.at(r), "%");
+  }
+  // Japan's requests are served overwhelmingly from Tokyo.
+  const size_t japan = 1;  // Regions() order
+  const size_t tokyo = 3;  // Complexes order
+  bench::Compare(
+      "Japan requests served from Tokyo", 100.0,
+      100.0 * static_cast<double>(served[japan][tokyo]) /
+          static_cast<double>(by_region[japan]),
+      "%");
+  return 0;
+}

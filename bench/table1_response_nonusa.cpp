@@ -1,0 +1,66 @@
+// TAB1 — "Response comparison, non-USA sites" (paper Table 1): mean
+// home-page response time and transmit rate over 28.8 Kbps modems from
+// Japan, Australia and the UK, for the Olympic site vs each country's
+// major local ISP home page, measured on Day 14.
+//
+// Method: the per-ISP effective transmit rates are taken from the paper's
+// table (they are the calibration inputs); the bench fetches the ~52 KB
+// home-page payload through each ISP model many times and reports the same
+// two rows the paper prints. The reproduction target is the *relationship*
+// response ≈ payload / rate + setup, and the country-level ordering.
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/net.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace nagano;
+
+namespace {
+
+// Mean responses as printed in the paper's Table 1, keyed in the same
+// order as Table1NonUsaIsps().
+const double kPaperMeanResponse[] = {16.22, 18.15, 29.37, 25.02, 17.36, 20.82};
+
+}  // namespace
+
+int main() {
+  bench::Header("TAB1", "response comparison, non-USA sites (Day 14)");
+
+  constexpr size_t kPayload = 52 * 1024;
+  constexpr int kFetches = 2000;
+  Rng rng(31);
+
+  const auto& isps = cluster::Table1NonUsaIsps();
+  std::vector<RunningStat> stats(isps.size());
+  for (size_t i = 0; i < isps.size(); ++i) {
+    for (int f = 0; f < kFetches; ++f) {
+      stats[i].Add(cluster::FetchSeconds(isps[i], kPayload, rng));
+    }
+  }
+
+  bench::Row("%-8s %-12s %14s %14s %14s", "Country", "ISP", "Mean resp (s)",
+             "Rate (Kbps)", "Paper resp (s)");
+  for (size_t i = 0; i < isps.size(); ++i) {
+    bench::Row("%-8s %-12s %14.2f %14.2f %14.2f", isps[i].country.c_str(),
+               isps[i].isp.c_str(), stats[i].mean(), isps[i].effective_kbps,
+               kPaperMeanResponse[i]);
+  }
+
+  bench::Section("checks");
+  for (size_t i = 0; i < isps.size(); ++i) {
+    bench::Compare((isps[i].country + "/" + isps[i].isp + " mean resp").c_str(),
+                   kPaperMeanResponse[i], stats[i].mean(), "s");
+  }
+  // Ordering property inside each country pair: higher effective rate =>
+  // lower mean response (paper: the Olympic site was among the fastest,
+  // except from Australia where the long haul cut its rate).
+  bench::CompareText("Japan: Olympics faster than Nifty",
+                     "yes", stats[0].mean() < stats[1].mean() ? "yes" : "no");
+  bench::CompareText("UK: Olympics faster than DEMON",
+                     "yes", stats[4].mean() < stats[5].mean() ? "yes" : "no");
+  bench::CompareText("AUS: OZEMAIL faster than Olympics",
+                     "yes", stats[3].mean() < stats[2].mean() ? "yes" : "no");
+  return 0;
+}

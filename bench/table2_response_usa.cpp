@@ -1,0 +1,57 @@
+// TAB2 — "Response comparison, USA sites" (paper Table 2): the Olympic
+// site vs five major US ISP/portal home pages over 28.8 Kbps modems.
+// The paper's takeaway: the Olympic site posted the best mean response
+// (18.26 s) — "one of the most responsive sites on the Internet".
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/net.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace nagano;
+
+namespace {
+
+const double kPaperMeanResponse[] = {18.26, 19.14, 23.91, 20.17, 19.72, 19.71};
+
+}  // namespace
+
+int main() {
+  bench::Header("TAB2", "response comparison, USA sites (Day 14)");
+
+  constexpr size_t kPayload = 52 * 1024;
+  constexpr int kFetches = 2000;
+  Rng rng(32);
+
+  const auto& isps = cluster::Table2UsaIsps();
+  std::vector<RunningStat> stats(isps.size());
+  for (size_t i = 0; i < isps.size(); ++i) {
+    for (int f = 0; f < kFetches; ++f) {
+      stats[i].Add(cluster::FetchSeconds(isps[i], kPayload, rng));
+    }
+  }
+
+  bench::Row("%-8s %-12s %14s %14s %14s", "Country", "ISP", "Mean resp (s)",
+             "Rate (Kbps)", "Paper resp (s)");
+  for (size_t i = 0; i < isps.size(); ++i) {
+    bench::Row("%-8s %-12s %14.2f %14.2f %14.2f", isps[i].country.c_str(),
+               isps[i].isp.c_str(), stats[i].mean(), isps[i].effective_kbps,
+               kPaperMeanResponse[i]);
+  }
+
+  bench::Section("checks");
+  for (size_t i = 0; i < isps.size(); ++i) {
+    bench::Compare((isps[i].isp + " mean resp").c_str(), kPaperMeanResponse[i],
+                   stats[i].mean(), "s");
+  }
+  // Who wins: the Olympic site beats every US ISP in mean response.
+  size_t best = 0;
+  for (size_t i = 1; i < stats.size(); ++i) {
+    if (stats[i].mean() < stats[best].mean()) best = i;
+  }
+  bench::CompareText("fastest measured site", "Olympics",
+                     isps[best].isp.c_str());
+  return 0;
+}

@@ -1,0 +1,159 @@
+// THRU — §1/§2 serving-cost claims, measured with google-benchmark on the
+// real serving path (no simulated costs — wall-clock of the actual code):
+//
+//   * "a single server can serve several hundred dynamic pages per second
+//      if the pages are cacheable"
+//   * "Cached dynamic pages can be served ... at roughly the same rates as
+//      static pages"
+//   * an uncached dynamic page costs orders of magnitude more than a
+//      cached one (render + DB reads vs a hash lookup)
+//
+// Also includes the co-location ablation (§2): the 1996 site ran updates
+// on the serving processors; serving throughput under a concurrent update
+// storm shows the interference the 1998 design avoided by moving the
+// trigger monitor to separate processors.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/serving_site.h"
+#include "http/client.h"
+#include "workload/sampler.h"
+
+using namespace nagano;
+
+namespace {
+
+core::SiteOptions BenchSite() {
+  core::SiteOptions options;
+  options.olympic.days = 8;
+  options.olympic.num_sports = 5;
+  options.olympic.events_per_sport = 8;
+  options.olympic.athletes_per_event = 10;
+  options.olympic.num_countries = 16;
+  return options;
+}
+
+struct SiteFixtureState {
+  std::unique_ptr<core::ServingSite> site;
+  std::unique_ptr<workload::PageSampler> sampler;
+
+  SiteFixtureState() {
+    auto site_or = core::ServingSite::Create(BenchSite());
+    if (!site_or.ok()) std::abort();
+    site = std::move(site_or).value();
+    if (!site->PrefetchAll().ok()) std::abort();
+    sampler = std::make_unique<workload::PageSampler>(site->olympic_config(),
+                                                      site->db());
+    sampler->SetCurrentDay(2);
+  }
+};
+
+SiteFixtureState& State() {
+  static SiteFixtureState state;
+  return state;
+}
+
+void BM_ServeStaticPage(benchmark::State& bench_state) {
+  auto& s = State();
+  s.site->page_server().AddStaticPage("/static/about", std::string(8192, 'x'));
+  for (auto _ : bench_state) {
+    auto out = s.site->Serve("/static/about");
+    benchmark::DoNotOptimize(out.bytes);
+  }
+  bench_state.SetItemsProcessed(bench_state.iterations());
+}
+BENCHMARK(BM_ServeStaticPage);
+
+void BM_ServeCachedDynamicPage(benchmark::State& bench_state) {
+  auto& s = State();
+  for (auto _ : bench_state) {
+    auto out = s.site->Serve("/day/2");
+    benchmark::DoNotOptimize(out.bytes);
+  }
+  bench_state.SetItemsProcessed(bench_state.iterations());
+}
+BENCHMARK(BM_ServeCachedDynamicPage);
+
+void BM_ServeCachedDynamicZipfMix(benchmark::State& bench_state) {
+  auto& s = State();
+  Rng rng(7);
+  for (auto _ : bench_state) {
+    auto out = s.site->Serve(s.sampler->Sample(rng));
+    benchmark::DoNotOptimize(out.bytes);
+  }
+  bench_state.SetItemsProcessed(bench_state.iterations());
+}
+BENCHMARK(BM_ServeCachedDynamicZipfMix);
+
+void BM_GenerateUncachedDynamicPage(benchmark::State& bench_state) {
+  auto& s = State();
+  for (auto _ : bench_state) {
+    // RenderOnly regenerates from the database every time — the cost a
+    // cache miss pays.
+    auto body = s.site->renderer().RenderOnly("/day/2");
+    benchmark::DoNotOptimize(body);
+  }
+  bench_state.SetItemsProcessed(bench_state.iterations());
+}
+BENCHMARK(BM_GenerateUncachedDynamicPage);
+
+void BM_ServeOverRealHttp(benchmark::State& bench_state) {
+  auto& s = State();
+  server::HttpFrontEnd front(&s.site->page_server(), {});
+  if (!front.Start().ok()) std::abort();
+  {
+    http::HttpClient client("127.0.0.1", front.port());
+    for (auto _ : bench_state) {
+      auto resp = client.Get("/day/2");
+      if (!resp.ok()) std::abort();
+      benchmark::DoNotOptimize(resp.value().body.size());
+    }
+  }
+  front.Stop();
+  bench_state.SetItemsProcessed(bench_state.iterations());
+}
+BENCHMARK(BM_ServeOverRealHttp);
+
+// Ablation: serving while an update storm regenerates pages. arg(0)==0:
+// updates on the trigger monitor's own thread (1998 design — serving
+// thread only serves). arg(0)==1: co-located, the serving thread itself
+// applies every update synchronously before serving (1996 design).
+void BM_ServeDuringUpdateStorm(benchmark::State& bench_state) {
+  const bool colocated = bench_state.range(0) == 1;
+  auto site_or = core::ServingSite::Create(BenchSite());
+  if (!site_or.ok()) std::abort();
+  auto& site = *site_or.value();
+  if (!site.PrefetchAll().ok()) std::abort();
+  site.StartTrigger();
+
+  workload::PageSampler sampler(site.olympic_config(), site.db());
+  sampler.SetCurrentDay(2);
+  Rng rng(11);
+  int64_t event = 1;
+  int rank = 1;
+  for (auto _ : bench_state) {
+    // One scoring update per 20 serves, as a steady background rate.
+    (void)site.RecordResult(event, rank, rank, 80.0 + rank);
+    // 1996: the serving processor blocks until the regeneration work is
+    // done before it can serve. 1998: regeneration proceeds on the trigger
+    // monitor's thread while this thread serves immediately.
+    if (colocated) site.Quiesce();
+    ++rank;
+    if (rank > 20) {
+      rank = 1;
+      event = event % 30 + 1;
+    }
+    auto out = site.Serve(sampler.Sample(rng));
+    benchmark::DoNotOptimize(out.bytes);
+  }
+  site.Quiesce();
+  site.StopTrigger();
+  bench_state.SetItemsProcessed(bench_state.iterations());
+  bench_state.SetLabel(colocated ? "colocated-1996" : "separate-1998");
+}
+BENCHMARK(BM_ServeDuringUpdateStorm)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

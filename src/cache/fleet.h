@@ -1,0 +1,52 @@
+// CacheFleet — the per-node serving caches of paper Fig. 6.
+//
+// Inside each SP2, pages were composed once on the SMP and the trigger
+// monitor "distributed updated pages to each of the eight UP's serving the
+// Internet": every serving uniprocessor held its own copy of the cache,
+// kept consistent by push distribution rather than by sharing. The fleet
+// models those N node caches and the distribution primitives the trigger
+// monitor uses (update everywhere, invalidate everywhere).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/object_cache.h"
+
+namespace nagano::cache {
+
+class CacheFleet {
+ public:
+  // `nodes` serving caches, each built with `base_options`.
+  explicit CacheFleet(size_t nodes, ObjectCache::Options base_options = {});
+
+  CacheFleet(const CacheFleet&) = delete;
+  CacheFleet& operator=(const CacheFleet&) = delete;
+
+  size_t size() const { return nodes_.size(); }
+  ObjectCache& node(size_t i) { return *nodes_[i]; }
+  const ObjectCache& node(size_t i) const { return *nodes_[i]; }
+
+  // --- distribution primitives (the trigger monitor's push path) ---------
+  // Stores `body` in every node cache (update-in-place everywhere).
+  void PutAll(std::string_view key, const std::string& body);
+  // Invalidates `key` everywhere; returns how many nodes held it.
+  size_t InvalidateAll(std::string_view key);
+  // Bulk prefix invalidation everywhere; returns total entries dropped.
+  size_t InvalidatePrefixAll(std::string_view prefix);
+  // True if any node cache holds `key`.
+  bool ContainsAnywhere(std::string_view key) const;
+
+  // Aggregate statistics over all node caches.
+  CacheStats TotalStats() const;
+  // Every node holds exactly the same key set with identical bodies —
+  // the consistency invariant the distribution path maintains. O(n·m).
+  bool AllNodesIdentical() const;
+
+ private:
+  std::vector<std::unique_ptr<ObjectCache>> nodes_;
+};
+
+}  // namespace nagano::cache

@@ -1,0 +1,173 @@
+#include "cache/object_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace nagano::cache {
+namespace {
+
+size_t EntryFootprint(const std::string& key, const CachedObject& obj) {
+  return key.size() + obj.body.size() + sizeof(CachedObject);
+}
+
+}  // namespace
+
+ObjectCache::ObjectCache(Options options)
+    : capacity_bytes_(options.capacity_bytes),
+      clock_(options.clock ? options.clock : &RealClock::Instance()) {
+  const size_t n = std::max<size_t>(1, options.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ObjectCache::Shard& ObjectCache::ShardFor(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+const ObjectCache::Shard& ObjectCache::ShardFor(std::string_view key) const {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedObject> ObjectCache::Lookup(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  it->second.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.object;
+}
+
+std::shared_ptr<const CachedObject> ObjectCache::Peek(std::string_view key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  return it == shard.map.end() ? nullptr : it->second.object;
+}
+
+uint64_t ObjectCache::Put(std::string_view key, std::string body) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  std::string k(key);
+  auto it = shard.map.find(k);
+  uint64_t version = 1;
+  if (it != shard.map.end()) {
+    version = it->second.object->version + 1;
+    shard.bytes -= EntryFootprint(k, *it->second.object);
+    ++shard.updates;
+  } else {
+    ++shard.inserts;
+  }
+
+  auto obj = std::make_shared<CachedObject>();
+  obj->body = std::move(body);
+  obj->version = version;
+  obj->stored_at = clock_->Now();
+  const size_t footprint = EntryFootprint(k, *obj);
+
+  Entry& entry = shard.map[std::move(k)];
+  entry.object = std::move(obj);
+  entry.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
+  shard.bytes += footprint;
+
+  if (capacity_bytes_ != 0) {
+    EvictLocked(shard, capacity_bytes_ / shards_.size());
+  }
+  return version;
+}
+
+void ObjectCache::Pin(std::string_view key, bool pinned) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  if (it != shard.map.end()) it->second.pinned = pinned;
+}
+
+bool ObjectCache::Invalidate(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) return false;
+  shard.bytes -= EntryFootprint(it->first, *it->second.object);
+  shard.map.erase(it);
+  ++shard.invalidations;
+  return true;
+}
+
+size_t ObjectCache::InvalidatePrefix(std::string_view prefix) {
+  size_t removed = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first.starts_with(prefix)) {
+        shard.bytes -= EntryFootprint(it->first, *it->second.object);
+        it = shard.map.erase(it);
+        ++shard.invalidations;
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+void ObjectCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+bool ObjectCache::Contains(std::string_view key) const {
+  return Peek(key) != nullptr;
+}
+
+void ObjectCache::EvictLocked(Shard& shard, size_t budget) {
+  while (shard.bytes > budget) {
+    // Smallest lru_tick among unpinned entries. Linear scan: eviction never
+    // fires in the paper configuration, so this path is cold by design.
+    auto victim = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      if (it->second.pinned) continue;
+      if (victim == shard.map.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == shard.map.end()) return;  // everything pinned
+    shard.bytes -= EntryFootprint(victim->first, *victim->second.object);
+    shard.map.erase(victim);
+    ++shard.evictions;
+  }
+}
+
+CacheStats ObjectCache::stats() const {
+  CacheStats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.inserts += shard.inserts;
+    total.updates_in_place += shard.updates;
+    total.invalidations += shard.invalidations;
+    total.evictions += shard.evictions;
+    total.entries += shard.map.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+size_t ObjectCache::size() const { return stats().entries; }
+size_t ObjectCache::bytes() const { return stats().bytes; }
+
+}  // namespace nagano::cache

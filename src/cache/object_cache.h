@@ -1,0 +1,125 @@
+// In-memory dynamic-page cache — the paper's "cache" component into which
+// the trigger monitor pushes updated pages and from which server programs
+// answer requests.
+//
+// Design points taken from the paper:
+//  * Lookups vastly outnumber writes; storage is sharded with per-shard
+//    locks so serving threads rarely contend.
+//  * Stale entries can be *updated in place* (the 1998 innovation) rather
+//    than invalidated, so hot pages never miss.
+//  * An LRU replacement mechanism exists but at Olympic scale every page
+//    fits in memory — "the system never had to apply a cache replacement
+//    algorithm". The eviction counter lets tests and the MEM bench assert
+//    exactly that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+
+namespace nagano::cache {
+
+// Immutable snapshot of a cached object. Returned by shared_ptr so a reader
+// keeps a consistent body even while the trigger monitor replaces the entry.
+struct CachedObject {
+  std::string body;
+  uint64_t version = 0;   // monotonically increasing per key
+  TimeNs stored_at = 0;   // cache clock at insert/update time
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t updates_in_place = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ObjectCache {
+ public:
+  struct Options {
+    size_t shards = 16;
+    // 0 = unbounded (the Olympic configuration). When bounded, Put() evicts
+    // least-recently-used unpinned entries until the new object fits.
+    size_t capacity_bytes = 0;
+    const Clock* clock = nullptr;  // defaults to RealClock
+  };
+
+  ObjectCache() : ObjectCache(Options()) {}
+  explicit ObjectCache(Options options);
+
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+
+  // nullptr on miss. Hit/miss counters are updated either way.
+  std::shared_ptr<const CachedObject> Lookup(std::string_view key);
+
+  // Peek without touching statistics or LRU order (used by monitoring).
+  std::shared_ptr<const CachedObject> Peek(std::string_view key) const;
+
+  // Insert or update-in-place. The version is bumped past the entry's
+  // current version automatically; returns the stored version.
+  uint64_t Put(std::string_view key, std::string body);
+
+  // Pinned entries are never evicted by the LRU (the paper's hot pages,
+  // which were "never invalidated from the cache").
+  void Pin(std::string_view key, bool pinned);
+
+  // True if the key was present.
+  bool Invalidate(std::string_view key);
+
+  // Invalidates every key starting with `prefix`; returns the count. This
+  // is the 1996-Atlanta conservative bulk invalidation primitive.
+  size_t InvalidatePrefix(std::string_view prefix);
+
+  void Clear();
+
+  bool Contains(std::string_view key) const;
+  CacheStats stats() const;
+  size_t size() const;
+  size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedObject> object;
+    uint64_t lru_tick = 0;
+    bool pinned = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> map;
+    size_t bytes = 0;
+    // Per-shard counters, aggregated by stats().
+    uint64_t hits = 0, misses = 0, inserts = 0, updates = 0, invalidations = 0,
+             evictions = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+  const Shard& ShardFor(std::string_view key) const;
+  // Evict LRU unpinned entries from `shard` until its bytes fit the
+  // per-shard budget. Caller holds the shard lock.
+  void EvictLocked(Shard& shard, size_t budget);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t capacity_bytes_;
+  const Clock* clock_;
+  std::atomic<uint64_t> lru_clock_{0};
+};
+
+}  // namespace nagano::cache

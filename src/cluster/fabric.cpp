@@ -1,0 +1,369 @@
+#include "cluster/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nagano::cluster {
+
+FabricConfig FabricConfig::Olympic() {
+  FabricConfig config;
+  config.complexes = {
+      {"Schaumburg", 4, 8, 4},
+      {"Columbus", 3, 8, 4},
+      {"Bethesda", 3, 8, 4},
+      {"Tokyo", 3, 8, 4},
+  };
+  return config;
+}
+
+ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
+                             const Clock* clock)
+    : config_(std::move(config)), costs_(std::move(costs)), clock_(clock) {
+  assert(clock_ != nullptr);
+  assert(costs_.num_complexes() == config_.complexes.size());
+  complexes_.reserve(config_.complexes.size());
+  for (size_t ci = 0; ci < config_.complexes.size(); ++ci) {
+    const ComplexConfig& cc = config_.complexes[ci];
+    assert(costs_.complex_name(ci) == cc.name &&
+           "cost table order must match complex order");
+    Complex cx;
+    cx.name = cc.name;
+    cx.frames.resize(static_cast<size_t>(cc.frames));
+    for (auto& frame : cx.frames) {
+      frame.nodes.resize(static_cast<size_t>(cc.nodes_per_frame));
+    }
+    cx.dispatchers.resize(static_cast<size_t>(cc.dispatchers));
+    cx.advertised.assign(static_cast<size_t>(config_.num_addresses), true);
+    // Paper §4.2: with 4 dispatchers and 12 addresses, each box is primary
+    // for 3 addresses and secondary for 2 others.
+    const int per_primary =
+        (config_.num_addresses + cc.dispatchers - 1) / cc.dispatchers;
+    for (int d = 0; d < cc.dispatchers; ++d) {
+      for (int k = 0; k < per_primary; ++k) {
+        const int addr = d * per_primary + k;
+        if (addr < config_.num_addresses) {
+          cx.dispatchers[static_cast<size_t>(d)].primary_addresses.push_back(addr);
+        }
+      }
+      for (int k = 0; k < 2; ++k) {
+        const int addr = (d * per_primary + per_primary + k) % config_.num_addresses;
+        cx.dispatchers[static_cast<size_t>(d)].secondary_addresses.push_back(addr);
+      }
+    }
+    complexes_.push_back(std::move(cx));
+  }
+}
+
+ServingFabric::Complex* ServingFabric::FindComplex(std::string_view name) {
+  for (auto& cx : complexes_) {
+    if (cx.name == name) return &cx;
+  }
+  return nullptr;
+}
+
+const ServingFabric::Complex* ServingFabric::FindComplexConst(
+    std::string_view name) const {
+  for (const auto& cx : complexes_) {
+    if (cx.name == name) return &cx;
+  }
+  return nullptr;
+}
+
+bool ServingFabric::SelectTarget(size_t region, int address, uint32_t excluded,
+                                 size_t* complex_out,
+                                 size_t* dispatcher_out) const {
+  // Lowest-cost advertisers of this address; ties collect into a candidate
+  // set and the address picks among them. Equal-cost complexes (the three
+  // US sites seen from inside the US) thus split the twelve addresses
+  // between them — the multipath behaviour MSIPR relies on; without it a
+  // failed complex would dump its whole load on a single neighbour.
+  int best_cost = INT32_MAX;
+  struct Candidate {
+    size_t complex_index;
+    size_t dispatcher;
+  };
+  Candidate candidates[8];
+  size_t num_candidates = 0;
+
+  for (size_t ci = 0; ci < complexes_.size(); ++ci) {
+    if (excluded & (1u << ci)) continue;
+    const Complex& cx = complexes_[ci];
+    if (!cx.up || !cx.advertised[static_cast<size_t>(address)]) continue;
+    const int base = costs_.Cost(region, ci);
+    // Primary dispatcher for this address, then secondaries at a penalty —
+    // the "differing costs ... depending on whether the Net Dispatcher was
+    // a primary or secondary server of an IP address".
+    int cx_cost = INT32_MAX;
+    size_t cx_dispatcher = SIZE_MAX;
+    for (size_t di = 0; di < cx.dispatchers.size(); ++di) {
+      const Dispatcher& d = cx.dispatchers[di];
+      if (!d.up) continue;
+      int cost = INT32_MAX;
+      if (std::find(d.primary_addresses.begin(), d.primary_addresses.end(),
+                    address) != d.primary_addresses.end()) {
+        cost = base;
+      } else if (std::find(d.secondary_addresses.begin(),
+                           d.secondary_addresses.end(),
+                           address) != d.secondary_addresses.end()) {
+        cost = base + config_.secondary_cost_penalty;
+      }
+      if (cost < cx_cost) {
+        cx_cost = cost;
+        cx_dispatcher = di;
+      }
+    }
+    if (cx_dispatcher == SIZE_MAX) continue;
+    if (cx_cost < best_cost) {
+      best_cost = cx_cost;
+      num_candidates = 0;
+    }
+    if (cx_cost == best_cost && num_candidates < std::size(candidates)) {
+      candidates[num_candidates++] = Candidate{ci, cx_dispatcher};
+    }
+  }
+  if (num_candidates == 0) return false;
+  const Candidate& chosen =
+      candidates[static_cast<size_t>(address) % num_candidates];
+  *complex_out = chosen.complex_index;
+  *dispatcher_out = chosen.dispatcher;
+  return true;
+}
+
+ServingFabric::Node* ServingFabric::PickNode(Complex& cx, int* retries) {
+  // Least busy_until among nodes the advisors believe alive. If the pick
+  // turns out dead (failure not yet detected), charge a retry, flip the
+  // advisor state — "the advisors immediately pulled it from the
+  // distribution list" — and pick again.
+  for (;;) {
+    TimeNs best_busy = INT64_MAX;
+    Node* best = nullptr;
+    for (auto& frame : cx.frames) {
+      if (!frame.up) continue;
+      for (auto& node : frame.nodes) {
+        if (!node.advisor_sees_up) continue;
+        if (node.busy_until < best_busy) {
+          best_busy = node.busy_until;
+          best = &node;
+        }
+      }
+    }
+    if (best == nullptr) return nullptr;
+    if (best->up) return best;
+    best->advisor_sees_up = false;
+    ++(*retries);
+  }
+}
+
+RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
+                                    size_t bytes, const LinkClass& link) {
+  RequestOutcome out;
+  out.region = region;
+  ++requests_;
+
+  // Round-robin DNS hands the client one of the twelve addresses.
+  const int address =
+      static_cast<int>(dns_counter_++ % static_cast<uint64_t>(config_.num_addresses));
+
+  uint32_t excluded = 0;
+  int retries = 0;
+  const TimeNs now = clock_->Now();
+
+  for (size_t attempt = 0; attempt < complexes_.size(); ++attempt) {
+    size_t ci = SIZE_MAX, di = SIZE_MAX;
+    if (!SelectTarget(region, address, excluded, &ci, &di)) break;
+    Complex& cx = complexes_[ci];
+
+    Node* picked = PickNode(cx, &retries);
+    if (picked == nullptr) {
+      // No alive node behind this complex — exclude it and re-route, as the
+      // routers would after the site stopped advertising.
+      excluded |= (1u << ci);
+      ++retries;
+      continue;
+    }
+    Node& node = *picked;
+
+    const TimeNs start = std::max(now, node.busy_until);
+    out.queue_delay = start - now;
+    node.busy_until = start + cpu_cost;
+    node.busy_total += cpu_cost;
+    ++node.served;
+    ++cx.served;
+
+    out.served = true;
+    out.complex_index = ci;
+    out.retries = retries;
+    out.response_time = costs_.Rtt(region, ci) +
+                        retries * config_.retry_penalty + out.queue_delay +
+                        cpu_cost + TransferTime(link, bytes);
+    ++served_;
+    retries_ += static_cast<uint64_t>(retries);
+    return out;
+  }
+
+  out.retries = retries;
+  ++failed_;
+  retries_ += static_cast<uint64_t>(retries);
+  return out;
+}
+
+// --- failure injection --------------------------------------------------------
+
+Status ServingFabric::FailNode(std::string_view complex_name, int frame,
+                               int node) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (frame < 0 || static_cast<size_t>(frame) >= cx->frames.size() || node < 0 ||
+      static_cast<size_t>(node) >= cx->frames[size_t(frame)].nodes.size()) {
+    return InvalidArgumentError("node index out of range");
+  }
+  cx->frames[size_t(frame)].nodes[size_t(node)].up = false;
+  return Status::Ok();
+}
+
+Status ServingFabric::RecoverNode(std::string_view complex_name, int frame,
+                                  int node) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (frame < 0 || static_cast<size_t>(frame) >= cx->frames.size() || node < 0 ||
+      static_cast<size_t>(node) >= cx->frames[size_t(frame)].nodes.size()) {
+    return InvalidArgumentError("node index out of range");
+  }
+  Node& n = cx->frames[size_t(frame)].nodes[size_t(node)];
+  n.up = true;
+  n.advisor_sees_up = true;
+  n.busy_until = clock_->Now();
+  return Status::Ok();
+}
+
+Status ServingFabric::FailFrame(std::string_view complex_name, int frame) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (frame < 0 || static_cast<size_t>(frame) >= cx->frames.size()) {
+    return InvalidArgumentError("frame index out of range");
+  }
+  cx->frames[size_t(frame)].up = false;
+  return Status::Ok();
+}
+
+Status ServingFabric::RecoverFrame(std::string_view complex_name, int frame) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (frame < 0 || static_cast<size_t>(frame) >= cx->frames.size()) {
+    return InvalidArgumentError("frame index out of range");
+  }
+  Frame& f = cx->frames[size_t(frame)];
+  f.up = true;
+  for (auto& node : f.nodes) {
+    node.advisor_sees_up = node.up;
+    node.busy_until = clock_->Now();
+  }
+  return Status::Ok();
+}
+
+Status ServingFabric::FailDispatcher(std::string_view complex_name,
+                                     int dispatcher) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (dispatcher < 0 ||
+      static_cast<size_t>(dispatcher) >= cx->dispatchers.size()) {
+    return InvalidArgumentError("dispatcher index out of range");
+  }
+  cx->dispatchers[size_t(dispatcher)].up = false;
+  return Status::Ok();
+}
+
+Status ServingFabric::RecoverDispatcher(std::string_view complex_name,
+                                        int dispatcher) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (dispatcher < 0 ||
+      static_cast<size_t>(dispatcher) >= cx->dispatchers.size()) {
+    return InvalidArgumentError("dispatcher index out of range");
+  }
+  cx->dispatchers[size_t(dispatcher)].up = true;
+  return Status::Ok();
+}
+
+Status ServingFabric::FailComplex(std::string_view complex_name) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  cx->up = false;
+  return Status::Ok();
+}
+
+Status ServingFabric::RecoverComplex(std::string_view complex_name) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  cx->up = true;
+  for (auto& frame : cx->frames) {
+    for (auto& node : frame.nodes) {
+      node.advisor_sees_up = node.up;
+      node.busy_until = clock_->Now();
+    }
+  }
+  return Status::Ok();
+}
+
+Status ServingFabric::SetAdvertised(std::string_view complex_name, int address,
+                                    bool advertised) {
+  Complex* cx = FindComplex(complex_name);
+  if (!cx) return NotFoundError("no complex " + std::string(complex_name));
+  if (address < 0 || address >= config_.num_addresses) {
+    return InvalidArgumentError("address out of range");
+  }
+  cx->advertised[static_cast<size_t>(address)] = advertised;
+  return Status::Ok();
+}
+
+// --- introspection -------------------------------------------------------------
+
+FabricStats ServingFabric::stats() const {
+  FabricStats s;
+  s.requests = requests_;
+  s.served = served_;
+  s.failed = failed_;
+  s.retries = retries_;
+  s.served_by_complex.reserve(complexes_.size());
+  for (const auto& cx : complexes_) s.served_by_complex.push_back(cx.served);
+  return s;
+}
+
+const std::string& ServingFabric::complex_name(size_t i) const {
+  return complexes_[i].name;
+}
+
+size_t ServingFabric::AliveNodes(size_t complex_index) const {
+  const Complex& cx = complexes_[complex_index];
+  if (!cx.up) return 0;
+  size_t alive = 0;
+  for (const auto& frame : cx.frames) {
+    if (!frame.up) continue;
+    for (const auto& node : frame.nodes) alive += node.up;
+  }
+  return alive;
+}
+
+double ServingFabric::Utilization(size_t complex_index, TimeNs elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  const Complex& cx = complexes_[complex_index];
+  TimeNs busy = 0;
+  size_t nodes = 0;
+  for (const auto& frame : cx.frames) {
+    for (const auto& node : frame.nodes) {
+      busy += node.busy_total;
+      ++nodes;
+    }
+  }
+  if (nodes == 0) return 0.0;
+  return static_cast<double>(busy) /
+         (static_cast<double>(elapsed) * static_cast<double>(nodes));
+}
+
+size_t ServingFabric::RouteTarget(size_t region, int address) const {
+  size_t ci = SIZE_MAX, di = SIZE_MAX;
+  if (!SelectTarget(region, address, 0, &ci, &di)) return SIZE_MAX;
+  return ci;
+}
+
+}  // namespace nagano::cluster

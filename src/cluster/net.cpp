@@ -1,0 +1,123 @@
+#include "cluster/net.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nagano::cluster {
+
+LinkClass Modem28k8() { return {"28.8K modem", 28'800, FromMillis(150)}; }
+LinkClass Isdn64k() { return {"64K ISDN", 64'000, FromMillis(60)}; }
+LinkClass Lan10M() { return {"10M LAN", 10'000'000, FromMillis(2)}; }
+
+TimeNs TransferTime(const LinkClass& link, size_t bytes) {
+  const double effective_bits = static_cast<double>(bytes) * 8.0 * 1.08;
+  return link.base_latency +
+         FromSeconds(effective_bits / link.bits_per_second);
+}
+
+RegionCosts::RegionCosts(std::vector<std::string> regions,
+                         std::vector<std::string> complexes)
+    : regions_(std::move(regions)),
+      complexes_(std::move(complexes)),
+      costs_(regions_.size() * complexes_.size(), 1000),
+      rtts_(regions_.size() * complexes_.size(), FromMillis(500)) {}
+
+void RegionCosts::Set(std::string_view region, std::string_view complex_name,
+                      int cost, TimeNs rtt) {
+  const auto r = RegionIndex(region);
+  const auto c = ComplexIndex(complex_name);
+  assert(r.ok() && c.ok());
+  costs_[r.value() * complexes_.size() + c.value()] = cost;
+  rtts_[r.value() * complexes_.size() + c.value()] = rtt;
+}
+
+int RegionCosts::Cost(size_t region, size_t complex_index) const {
+  return costs_[region * complexes_.size() + complex_index];
+}
+
+TimeNs RegionCosts::Rtt(size_t region, size_t complex_index) const {
+  return rtts_[region * complexes_.size() + complex_index];
+}
+
+Result<size_t> RegionCosts::RegionIndex(std::string_view region) const {
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i] == region) return i;
+  }
+  return NotFoundError("no region " + std::string(region));
+}
+
+Result<size_t> RegionCosts::ComplexIndex(std::string_view complex_name) const {
+  for (size_t i = 0; i < complexes_.size(); ++i) {
+    if (complexes_[i] == complex_name) return i;
+  }
+  return NotFoundError("no complex " + std::string(complex_name));
+}
+
+RegionCosts RegionCosts::OlympicDefault() {
+  RegionCosts rc({"United States", "Japan", "Europe", "Asia-Pacific",
+                  "Other Americas"},
+                 {"Schaumburg", "Columbus", "Bethesda", "Tokyo"});
+  // region, complex, OSPF-style cost, RTT
+  rc.Set("United States", "Schaumburg", 10, FromMillis(45));
+  rc.Set("United States", "Columbus", 10, FromMillis(45));
+  rc.Set("United States", "Bethesda", 12, FromMillis(55));
+  rc.Set("United States", "Tokyo", 40, FromMillis(180));
+
+  rc.Set("Japan", "Tokyo", 5, FromMillis(20));
+  rc.Set("Japan", "Schaumburg", 45, FromMillis(170));
+  rc.Set("Japan", "Columbus", 48, FromMillis(175));
+  rc.Set("Japan", "Bethesda", 50, FromMillis(185));
+
+  rc.Set("Europe", "Bethesda", 20, FromMillis(95));
+  rc.Set("Europe", "Columbus", 24, FromMillis(110));
+  rc.Set("Europe", "Schaumburg", 25, FromMillis(115));
+  rc.Set("Europe", "Tokyo", 45, FromMillis(260));
+
+  rc.Set("Asia-Pacific", "Tokyo", 15, FromMillis(70));
+  rc.Set("Asia-Pacific", "Schaumburg", 42, FromMillis(190));
+  rc.Set("Asia-Pacific", "Columbus", 44, FromMillis(195));
+  rc.Set("Asia-Pacific", "Bethesda", 46, FromMillis(205));
+
+  rc.Set("Other Americas", "Columbus", 15, FromMillis(80));
+  rc.Set("Other Americas", "Schaumburg", 16, FromMillis(85));
+  rc.Set("Other Americas", "Bethesda", 18, FromMillis(90));
+  rc.Set("Other Americas", "Tokyo", 50, FromMillis(240));
+  return rc;
+}
+
+const std::vector<IspProfile>& Table1NonUsaIsps() {
+  // Transmit rates (Kbps) from Table 1 of the paper; response times in the
+  // table follow from payload / rate + last-mile latency.
+  static const std::vector<IspProfile> kIsps = {
+      {"Japan", "Olympics", 25.78, true},
+      {"Japan", "Nifty", 22.05, false},
+      {"AUS", "Olympics", 16.82, true},
+      {"AUS", "OZEMAIL", 18.69, false},
+      {"UK", "Olympics", 25.84, true},
+      {"UK", "DEMON", 21.28, false},
+  };
+  return kIsps;
+}
+
+const std::vector<IspProfile>& Table2UsaIsps() {
+  static const std::vector<IspProfile> kIsps = {
+      {"USA", "Olympics", 23.31, true},
+      {"USA", "Compuserve", 21.86, false},
+      {"USA", "AOL", 19.05, false},
+      {"USA", "MSN", 18.60, false},
+      {"USA", "NETCOM", 21.01, false},
+      {"USA", "AT&T", 20.84, false},
+  };
+  return kIsps;
+}
+
+double FetchSeconds(const IspProfile& isp, size_t payload_bytes, Rng& rng) {
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  const double transfer = bits / (isp.effective_kbps * 1000.0);
+  // Connection setup + DNS + server turn-around; modem-era overheads.
+  const double setup = std::clamp(rng.NextGaussian(0.9, 0.25), 0.3, 2.0);
+  return transfer + setup;
+}
+
+}  // namespace nagano::cluster

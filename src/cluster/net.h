@@ -1,0 +1,88 @@
+// Network path model: client access links, region<->complex routing costs
+// and RTTs, and the per-ISP last-mile parameters behind Tables 1-2.
+//
+// The paper's headline network requirement: a 28.8 Kbps modem client should
+// see at most 30 s for a full home-page fetch. Response time for a hit is
+//   rtt + server queueing + server cpu + payload / effective_link_rate
+// and at modem speeds the last term dominates — which is exactly what §5
+// concludes ("virtually all of the delays ... were caused not by the Web
+// site but by the client and the client connection").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace nagano::cluster {
+
+// A client access-link class.
+struct LinkClass {
+  std::string name;
+  double bits_per_second = 28'800;
+  TimeNs base_latency = FromMillis(150);  // modem + ISP POP latency
+};
+
+LinkClass Modem28k8();
+LinkClass Isdn64k();
+LinkClass Lan10M();
+
+// Transfer time of `bytes` over the link, including protocol overhead
+// (TCP/IP + PPP framing ≈ 8%).
+TimeNs TransferTime(const LinkClass& link, size_t bytes);
+
+// Routing distance table. Costs are OSPF-style administrative metrics used
+// for path selection; RTTs are the physical latencies used for response
+// times. Indexed [region][complex].
+class RegionCosts {
+ public:
+  RegionCosts(std::vector<std::string> regions,
+              std::vector<std::string> complexes);
+
+  void Set(std::string_view region, std::string_view complex_name, int cost,
+           TimeNs rtt);
+  int Cost(size_t region, size_t complex_index) const;
+  TimeNs Rtt(size_t region, size_t complex_index) const;
+
+  Result<size_t> RegionIndex(std::string_view region) const;
+  Result<size_t> ComplexIndex(std::string_view complex_name) const;
+  size_t num_regions() const { return regions_.size(); }
+  size_t num_complexes() const { return complexes_.size(); }
+  const std::string& region_name(size_t i) const { return regions_[i]; }
+  const std::string& complex_name(size_t i) const { return complexes_[i]; }
+
+  // The Olympic topology: regions from workload::Regions(), complexes
+  // {Schaumburg, Columbus, Bethesda, Tokyo}, with geographic costs.
+  static RegionCosts OlympicDefault();
+
+ private:
+  std::vector<std::string> regions_;
+  std::vector<std::string> complexes_;
+  std::vector<int> costs_;     // region-major
+  std::vector<TimeNs> rtts_;
+};
+
+// Per-ISP last-mile model for Tables 1-2: the same 28.8 Kbps modem reaches
+// different *effective* throughput depending on the ISP's internal network
+// (peering congestion, proxy overhead). effective_kbps is the calibration
+// target printed in the tables; jitter adds realistic spread.
+struct IspProfile {
+  std::string country;
+  std::string isp;
+  double effective_kbps;  // observed transmit rate from the paper's tables
+  bool is_olympic_site;   // rows labeled "Olympics"
+};
+
+// The twelve rows of Tables 1 and 2.
+const std::vector<IspProfile>& Table1NonUsaIsps();
+const std::vector<IspProfile>& Table2UsaIsps();
+
+// One home-page fetch through an ISP: payload / effective rate + latency
+// jitter. `payload_bytes` is the full home page with images (~50 KB).
+double FetchSeconds(const IspProfile& isp, size_t payload_bytes, Rng& rng);
+
+}  // namespace nagano::cluster

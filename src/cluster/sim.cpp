@@ -1,0 +1,36 @@
+#include "cluster/sim.h"
+
+#include <cassert>
+
+namespace nagano::cluster {
+
+void EventQueue::At(TimeNs t, std::function<void()> fn) {
+  assert(t >= clock_->Now());
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::After(TimeNs delay, std::function<void()> fn) {
+  At(clock_->Now() + delay, std::move(fn));
+}
+
+void EventQueue::RunUntil(TimeNs deadline) {
+  while (!events_.empty() && events_.top().at <= deadline) {
+    // Copy out before pop: the handler may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    clock_->AdvanceTo(event.at);
+    event.fn();
+  }
+  if (clock_->Now() < deadline) clock_->AdvanceTo(deadline);
+}
+
+void EventQueue::RunAll() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    clock_->AdvanceTo(event.at);
+    event.fn();
+  }
+}
+
+}  // namespace nagano::cluster

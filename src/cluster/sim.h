@@ -1,0 +1,52 @@
+// Discrete-event simulation core: a time-ordered event queue driving a
+// SimClock. Deterministic — ties break by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nagano::cluster {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+
+  // Schedules fn at absolute simulated time t (>= now).
+  void At(TimeNs t, std::function<void()> fn);
+  // Schedules fn after a delay from the current simulated time.
+  void After(TimeNs delay, std::function<void()> fn);
+
+  // Runs events with time <= deadline, advancing the clock to each event's
+  // time; finally advances the clock to the deadline.
+  void RunUntil(TimeNs deadline);
+
+  // Runs until the queue is empty.
+  void RunAll();
+
+  size_t pending() const { return events_.size(); }
+  TimeNs now() const { return clock_->Now(); }
+  SimClock* clock() { return clock_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock* clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace nagano::cluster

@@ -1,0 +1,60 @@
+// Time abstraction. Production components take a Clock& so the same code
+// runs against wall time (examples, live server) and simulated time (the
+// cluster simulator and every deterministic test).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace nagano {
+
+// Nanoseconds since an arbitrary epoch.
+using TimeNs = int64_t;
+
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+constexpr TimeNs kMinute = 60 * kSecond;
+constexpr TimeNs kHour = 60 * kMinute;
+constexpr TimeNs kDay = 24 * kHour;
+
+inline double ToSeconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+inline double ToMillis(TimeNs t) { return static_cast<double>(t) / 1e6; }
+inline TimeNs FromSeconds(double s) { return static_cast<TimeNs>(s * 1e9); }
+inline TimeNs FromMillis(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs Now() const = 0;
+};
+
+// Monotonic wall clock.
+class RealClock final : public Clock {
+ public:
+  TimeNs Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static RealClock& Instance();
+};
+
+// Manually advanced clock; thread-safe so serving threads can read it while
+// a driver advances it.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs Now() const override { return now_.load(std::memory_order_acquire); }
+
+  void AdvanceTo(TimeNs t) { now_.store(t, std::memory_order_release); }
+  void Advance(TimeNs dt) { now_.fetch_add(dt, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<TimeNs> now_;
+};
+
+}  // namespace nagano

@@ -1,0 +1,34 @@
+#include "common/intern.h"
+
+#include <cassert>
+
+namespace nagano {
+
+InternId StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<InternId>(storage_.size());
+  storage_.emplace_back(s);
+  index_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+InternId StringInterner::Lookup(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidInternId : it->second;
+}
+
+std::string_view StringInterner::Name(InternId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(id < storage_.size());
+  return storage_[id];
+}
+
+size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return storage_.size();
+}
+
+}  // namespace nagano

@@ -1,0 +1,125 @@
+// Lightweight status / result types used across the nagano libraries.
+//
+// C++20 has no std::expected, and exceptions are kept off the hot serving
+// path, so fallible APIs return Status (void results) or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nagano {
+
+// Error categories, deliberately coarse: callers branch on category, the
+// message carries the detail for logs.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,     // transient: node down, link down, queue closed
+  kResourceExhausted,
+  kDataLoss,        // replication gap, corrupt message
+  kInternal,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on success (one enum); the error
+// message is only allocated on failure.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such page" — for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status NotFoundError(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(ErrorCode::kDataLoss, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// A value or an error. Accessing value() on an error aborts in debug
+// builds; check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() &&
+           "cannot construct Result<T> from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  // The error; returns OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(rep_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace nagano

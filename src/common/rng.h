@@ -1,0 +1,67 @@
+// Deterministic random number generation for simulations and workload
+// synthesis. Every stochastic component in nagano takes an explicit Rng so
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nagano {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+// Seeded through SplitMix64 so that nearby seeds give unrelated streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0); used for
+  // inter-arrival times in the result-feed and request processes.
+  double NextExponential(double mean);
+
+  // Normally distributed (Box-Muller), for timing jitter.
+  double NextGaussian(double mean, double stddev);
+
+  // Derive an independent child stream (for per-component determinism).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n). Used for page popularity: the Olympic
+// site's traffic was dominated by a small hot set (day-home page, current
+// events), which a Zipf with s ~ 0.8-1.1 models well.
+//
+// Precomputes the CDF once (O(n)); each sample is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace nagano

@@ -1,0 +1,53 @@
+#include "common/thread_pool.h"
+
+#include <cassert>
+
+namespace nagano {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  assert(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(std::move(task))) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) ==
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      // Pair with Wait()'s predicate re-check.
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    wait_cv_.notify_all();
+  }
+}
+
+}  // namespace nagano

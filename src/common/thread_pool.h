@@ -1,0 +1,51 @@
+// Fixed-size worker pool. The trigger monitor renders affected pages on
+// this pool — the paper's "updates performed on different processors from
+// the ones serving pages".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace nagano {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Block until every task submitted so far has finished executing.
+  void Wait();
+
+  // Stop accepting tasks, drain the queue, join workers. Idempotent;
+  // called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  uint64_t tasks_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace nagano

@@ -1,0 +1,130 @@
+#include "core/serving_site.h"
+
+#include <chrono>
+
+namespace nagano::core {
+
+ServingSite::ServingSite(SiteOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : &RealClock::Instance()) {}
+
+Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
+  auto database = std::make_unique<db::Database>(
+      options.clock ? options.clock : &RealClock::Instance());
+  if (Status s = pagegen::OlympicSite::Build(options.olympic, database.get());
+      !s.ok()) {
+    return s;
+  }
+  return CreateAround(std::move(options), std::move(database));
+}
+
+Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
+    SiteOptions options, std::unique_ptr<db::Database> database) {
+  if (database == nullptr) {
+    return InvalidArgumentError("CreateAround: null database");
+  }
+  if (!database->HasTable("events")) {
+    return FailedPreconditionError(
+        "CreateAround: database lacks the Olympic schema");
+  }
+  std::unique_ptr<ServingSite> site(new ServingSite(std::move(options)));
+  site->db_ = std::move(database);
+
+  site->graph_ = std::make_unique<odg::ObjectDependenceGraph>();
+
+  cache::ObjectCache::Options cache_options;
+  cache_options.shards = site->options_.cache_shards;
+  cache_options.capacity_bytes = site->options_.cache_capacity_bytes;
+  cache_options.clock = site->clock_;
+  site->cache_ = std::make_unique<cache::ObjectCache>(cache_options);
+
+  site->renderer_ = std::make_unique<pagegen::PageRenderer>(site->graph_.get(),
+                                                            site->cache_.get());
+  pagegen::OlympicSite::RegisterGenerators(site->options_.olympic,
+                                           site->db_.get(),
+                                           site->renderer_.get());
+
+  if (site->options_.serving_nodes > 0) {
+    cache::ObjectCache::Options node_options;
+    node_options.shards = site->options_.cache_shards;
+    node_options.clock = site->clock_;
+    site->fleet_ = std::make_unique<cache::CacheFleet>(
+        site->options_.serving_nodes, node_options);
+    site->options_.trigger.fleet = site->fleet_.get();
+  }
+
+  db::Database* db_ptr = site->db_.get();
+  site->trigger_ = std::make_unique<trigger::TriggerMonitor>(
+      db_ptr, site->graph_.get(), site->cache_.get(), site->renderer_.get(),
+      [db_ptr](const db::ChangeRecord& change) {
+        return pagegen::OlympicSite::MapChangeToDataNodes(change, *db_ptr);
+      },
+      site->options_.trigger, site->clock_);
+
+  server::DynamicPageServer::Options serve_options;
+  serve_options.costs = site->options_.costs;
+  site->page_server_ = std::make_unique<server::DynamicPageServer>(
+      site->cache_.get(), site->renderer_.get(), serve_options);
+  if (site->fleet_ != nullptr) {
+    for (size_t n = 0; n < site->fleet_->size(); ++n) {
+      site->node_servers_.push_back(std::make_unique<server::DynamicPageServer>(
+          &site->fleet_->node(n), site->renderer_.get(), serve_options));
+    }
+  }
+
+  return site;
+}
+
+ServingSite::~ServingSite() {
+  if (trigger_) trigger_->Stop();
+}
+
+Result<size_t> ServingSite::PrefetchAll() {
+  size_t cached = 0;
+  auto prefetch = [&](const std::string& object) -> Status {
+    auto body = renderer_->RenderAndCache(object);
+    if (!body.ok()) return body.status();
+    // Fleet mode: distribute the freshly composed copy to every serving
+    // node, as the SMP did to the eight UPs.
+    if (fleet_ != nullptr) fleet_->PutAll(object, body.value());
+    ++cached;
+    return Status::Ok();
+  };
+  // Fragments first so page renders splice them from the cache.
+  for (const std::string& fragment : pagegen::OlympicSite::AllFragmentNames(
+           options_.olympic, *db_)) {
+    if (Status s = prefetch(fragment); !s.ok()) return s;
+  }
+  for (const std::string& page :
+       pagegen::OlympicSite::AllPageNames(options_.olympic, *db_)) {
+    if (Status s = prefetch(page); !s.ok()) return s;
+  }
+  return cached;
+}
+
+Result<double> ServingSite::MeasureUpdateLatencyMs(int64_t event_id,
+                                                   int64_t rank,
+                                                   int64_t athlete_id,
+                                                   double score) {
+  const std::string page = pagegen::OlympicSite::EventPage(event_id);
+  auto before = cache_->Peek(page);
+  if (before == nullptr) {
+    return FailedPreconditionError("event page not cached; prefetch first");
+  }
+  const uint64_t version_before = before->version;
+
+  const auto start = std::chrono::steady_clock::now();
+  if (Status s = RecordResult(event_id, rank, athlete_id, score); !s.ok()) {
+    return s;
+  }
+  Quiesce();
+  const auto end = std::chrono::steady_clock::now();
+
+  auto after = cache_->Peek(page);
+  if (after == nullptr || after->version <= version_before) {
+    return InternalError("event page was not refreshed by the trigger monitor");
+  }
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace nagano::core

@@ -1,0 +1,135 @@
+// ServingSite — the assembled publishing pipeline of paper Fig. 6:
+//
+//   scoring feed -> database -> trigger monitor -> DUP over the ODG ->
+//   page renderer -> object cache -> server program -> clients
+//
+// One ServingSite models one SP2's triggering/caching/rendering SMP plus
+// its cache contents; the cluster simulation replicates its serving
+// behaviour across complexes, and HttpFrontEnd (src/server) exposes it
+// over real HTTP.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/fleet.h"
+#include "cache/object_cache.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "odg/graph.h"
+#include "pagegen/olympic.h"
+#include "pagegen/renderer.h"
+#include "server/serving.h"
+#include "trigger/trigger_monitor.h"
+
+namespace nagano::core {
+
+struct SiteOptions {
+  pagegen::OlympicConfig olympic;
+  trigger::TriggerOptions trigger;
+  server::CostModel costs;
+  size_t cache_shards = 16;
+  size_t cache_capacity_bytes = 0;  // 0 = unbounded, the paper configuration
+  // Per-node serving caches behind the composing cache (Fig. 6: eight
+  // serving UPs per SP2). 0 = single-cache mode; the trigger monitor then
+  // maintains only the composition cache.
+  size_t serving_nodes = 0;
+  const Clock* clock = nullptr;     // defaults to RealClock
+};
+
+class ServingSite {
+ public:
+  // Builds the database content, registers generators, and constructs the
+  // trigger monitor (not yet started).
+  static Result<std::unique_ptr<ServingSite>> Create(SiteOptions options);
+
+  // Wraps an existing database — a replica fed by the replication tree
+  // (paper Fig. 5: each complex ran the pipeline against its own copy).
+  // The database must already carry the Olympic schema; content arrives
+  // through the replicated change log, and this site's trigger monitor
+  // reacts to replicated commits exactly as the master's does to local
+  // ones.
+  static Result<std::unique_ptr<ServingSite>> CreateAround(
+      SiteOptions options, std::unique_ptr<db::Database> database);
+
+  ~ServingSite();
+
+  ServingSite(const ServingSite&) = delete;
+  ServingSite& operator=(const ServingSite&) = delete;
+
+  // --- lifecycle -----------------------------------------------------------
+  void StartTrigger() { trigger_->Start(); }
+  void StopTrigger() { trigger_->Stop(); }
+  // Wait for every committed change to be reflected in the cache.
+  void Quiesce() { trigger_->Quiesce(); }
+
+  // Prefetch (§2): render and cache every fragment then every page, so the
+  // steady state starts warm — "such pages were never invalidated from the
+  // cache. Consequently, there were no cache misses for these pages."
+  // Returns the number of objects cached.
+  Result<size_t> PrefetchAll();
+
+  // --- serving ---------------------------------------------------------------
+  server::ServeOutcome Serve(std::string_view page, bool include_body = false) {
+    return page_server_->Serve(page, include_body);
+  }
+
+  // Serves from a specific node's cache (fleet mode). Node misses fall
+  // back to generation exactly like the single-cache path.
+  server::ServeOutcome ServeFromNode(size_t node, std::string_view page,
+                                     bool include_body = false) {
+    return node_servers_.at(node)->Serve(page, include_body);
+  }
+  size_t serving_nodes() const { return node_servers_.size(); }
+  cache::CacheFleet* fleet() { return fleet_.get(); }
+
+  // --- the scoring feed --------------------------------------------------------
+  Status RecordResult(int64_t event_id, int64_t rank, int64_t athlete_id,
+                      double score) {
+    return pagegen::OlympicSite::RecordResult(db_.get(), event_id, rank,
+                                              athlete_id, score);
+  }
+  Status CompleteEvent(int64_t event_id) {
+    return pagegen::OlympicSite::CompleteEvent(db_.get(), event_id);
+  }
+  Status PublishNews(int64_t article_id, int day, std::string_view title,
+                     std::string_view body, int64_t sport_id = 1) {
+    return pagegen::OlympicSite::PublishNews(db_.get(), article_id, day, title,
+                                             body, sport_id);
+  }
+
+  // End-to-end freshness probe: commit one result for `event_id`, block
+  // until the trigger monitor quiesces, and verify the cached event page
+  // changed. Returns the wall-clock milliseconds from commit to cache
+  // consistency (the paper's "within seconds" / "maximum of sixty seconds").
+  Result<double> MeasureUpdateLatencyMs(int64_t event_id, int64_t rank,
+                                        int64_t athlete_id, double score);
+
+  // --- components -----------------------------------------------------------------
+  db::Database& db() { return *db_; }
+  odg::ObjectDependenceGraph& graph() { return *graph_; }
+  cache::ObjectCache& cache() { return *cache_; }
+  pagegen::PageRenderer& renderer() { return *renderer_; }
+  trigger::TriggerMonitor& trigger_monitor() { return *trigger_; }
+  server::DynamicPageServer& page_server() { return *page_server_; }
+  const pagegen::OlympicConfig& olympic_config() const { return options_.olympic; }
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  explicit ServingSite(SiteOptions options);
+
+  SiteOptions options_;
+  const Clock* clock_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<odg::ObjectDependenceGraph> graph_;
+  std::unique_ptr<cache::ObjectCache> cache_;
+  std::unique_ptr<cache::CacheFleet> fleet_;  // only in fleet mode
+  std::unique_ptr<pagegen::PageRenderer> renderer_;
+  std::unique_ptr<trigger::TriggerMonitor> trigger_;
+  std::unique_ptr<server::DynamicPageServer> page_server_;
+  std::vector<std::unique_ptr<server::DynamicPageServer>> node_servers_;
+};
+
+}  // namespace nagano::core

@@ -1,0 +1,356 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace nagano::db {
+
+std::string KeyString(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(*i));
+    return buf;
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+bool TypeMatches(const Value& v, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return std::holds_alternative<int64_t>(v);
+    case ColumnType::kDouble: return std::holds_alternative<double>(v);
+    case ColumnType::kString: return std::holds_alternative<std::string>(v);
+  }
+  return false;
+}
+
+Database::Database(const Clock* clock)
+    : clock_(clock ? clock : &RealClock::Instance()) {}
+
+Status Database::CreateTable(std::string_view table,
+                             std::vector<ColumnSpec> columns,
+                             size_t key_column) {
+  if (columns.empty()) {
+    return InvalidArgumentError("CreateTable: no columns");
+  }
+  if (key_column >= columns.size()) {
+    return InvalidArgumentError("CreateTable: key column out of range");
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = tables_.try_emplace(std::string(table));
+  if (!inserted) {
+    return AlreadyExistsError("CreateTable: table exists: " + std::string(table));
+  }
+  it->second.columns = std::move(columns);
+  it->second.key_column = key_column;
+  return Status::Ok();
+}
+
+bool Database::HasTable(std::string_view table) const {
+  std::shared_lock lock(mutex_);
+  return tables_.contains(std::string(table));
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<size_t> Database::ColumnIndex(std::string_view table,
+                                     std::string_view column) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) {
+    return NotFoundError("ColumnIndex: no table " + std::string(table));
+  }
+  const auto& cols = it->second.columns;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == column) return i;
+  }
+  return NotFoundError("ColumnIndex: no column " + std::string(column));
+}
+
+Status Database::ValidateRowLocked(const TableData& t, const Row& row) const {
+  if (row.size() != t.columns.size()) {
+    return InvalidArgumentError("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypeMatches(row[i], t.columns[i].type)) {
+      return InvalidArgumentError("type mismatch in column " + t.columns[i].name);
+    }
+  }
+  return Status::Ok();
+}
+
+void Database::CommitLocked(ChangeRecord change,
+                            std::unique_lock<std::shared_mutex>& lock) {
+  log_.push_back(change);
+  // Snapshot listeners, then fire outside the lock: listeners (the trigger
+  // monitor) may re-enter the database to render pages.
+  std::vector<Listener> to_fire;
+  to_fire.reserve(listeners_.size());
+  for (const auto& [_, l] : listeners_) to_fire.push_back(l);
+  lock.unlock();
+  for (const auto& l : to_fire) l(change);
+}
+
+void Database::UnindexRowLocked(TableData& t, const std::string& pk,
+                                const Row& row) {
+  for (auto& [column, index] : t.indexes) {
+    const std::string value = KeyString(row[column]);
+    for (auto it = index.lower_bound(value);
+         it != index.end() && it->first == value; ++it) {
+      if (it->second == pk) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void Database::IndexRowLocked(TableData& t, const std::string& pk,
+                              const Row& row) {
+  for (auto& [column, index] : t.indexes) {
+    index.emplace(KeyString(row[column]), pk);
+  }
+}
+
+Status Database::Upsert(std::string_view table, Row row) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) {
+    return NotFoundError("Upsert: no table " + std::string(table));
+  }
+  TableData& t = it->second;
+  if (Status s = ValidateRowLocked(t, row); !s.ok()) return s;
+
+  ChangeRecord change;
+  change.table = std::string(table);
+  change.key = KeyString(row[t.key_column]);
+  change.row = row;
+  change.committed_at = clock_->Now();
+  change.seqno = next_seqno_++;
+
+  if (auto old = t.rows.find(change.key); old != t.rows.end()) {
+    UnindexRowLocked(t, change.key, old->second);
+  }
+  auto [row_it, inserted] = t.rows.insert_or_assign(change.key, std::move(row));
+  IndexRowLocked(t, change.key, row_it->second);
+  change.op = inserted ? ChangeOp::kInsert : ChangeOp::kUpdate;
+  CommitLocked(std::move(change), lock);
+  return Status::Ok();
+}
+
+Status Database::Delete(std::string_view table, const Value& key) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) {
+    return NotFoundError("Delete: no table " + std::string(table));
+  }
+  TableData& t = it->second;
+  const std::string k = KeyString(key);
+  auto row_it = t.rows.find(k);
+  if (row_it == t.rows.end()) {
+    return NotFoundError("Delete: no row " + k);
+  }
+  UnindexRowLocked(t, k, row_it->second);
+  t.rows.erase(row_it);
+  ChangeRecord change;
+  change.table = std::string(table);
+  change.key = k;
+  change.op = ChangeOp::kDelete;
+  change.committed_at = clock_->Now();
+  change.seqno = next_seqno_++;
+  CommitLocked(std::move(change), lock);
+  return Status::Ok();
+}
+
+Status Database::ApplyReplicated(const ChangeRecord& change) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(change.table);
+  if (it == tables_.end()) {
+    return NotFoundError("ApplyReplicated: no table " + change.table);
+  }
+  TableData& t = it->second;
+  if (change.seqno != next_seqno_) {
+    return DataLossError("ApplyReplicated: expected seqno " +
+                         std::to_string(next_seqno_) + ", got " +
+                         std::to_string(change.seqno));
+  }
+  switch (change.op) {
+    case ChangeOp::kInsert:
+    case ChangeOp::kUpdate: {
+      if (Status s = ValidateRowLocked(t, change.row); !s.ok()) return s;
+      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
+        UnindexRowLocked(t, change.key, old->second);
+      }
+      auto [row_it, _] = t.rows.insert_or_assign(change.key, change.row);
+      IndexRowLocked(t, change.key, row_it->second);
+      break;
+    }
+    case ChangeOp::kDelete: {
+      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
+        UnindexRowLocked(t, change.key, old->second);
+        t.rows.erase(old);
+      }
+      break;
+    }
+  }
+  next_seqno_ = change.seqno + 1;
+  CommitLocked(change, lock);
+  return Status::Ok();
+}
+
+Result<Row> Database::Get(std::string_view table, const Value& key) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) {
+    return NotFoundError("Get: no table " + std::string(table));
+  }
+  const auto& rows = it->second.rows;
+  auto row_it = rows.find(KeyString(key));
+  if (row_it == rows.end()) {
+    return NotFoundError("Get: no row " + KeyString(key));
+  }
+  return row_it->second;
+}
+
+std::vector<Row> Database::Scan(
+    std::string_view table, const std::function<bool(const Row&)>& pred) const {
+  std::shared_lock lock(mutex_);
+  std::vector<Row> out;
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) return out;
+  for (const auto& [_, row] : it->second.rows) {
+    if (pred(row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Row> Database::ScanAll(std::string_view table) const {
+  return Scan(table, [](const Row&) { return true; });
+}
+
+Status Database::CreateIndex(std::string_view table, std::string_view column) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) {
+    return NotFoundError("CreateIndex: no table " + std::string(table));
+  }
+  TableData& t = it->second;
+  size_t column_index = t.columns.size();
+  for (size_t i = 0; i < t.columns.size(); ++i) {
+    if (t.columns[i].name == column) {
+      column_index = i;
+      break;
+    }
+  }
+  if (column_index == t.columns.size()) {
+    return NotFoundError("CreateIndex: no column " + std::string(column));
+  }
+  auto [index_it, created] = t.indexes.try_emplace(column_index);
+  if (!created) return Status::Ok();  // idempotent
+  for (const auto& [pk, row] : t.rows) {
+    index_it->second.emplace(KeyString(row[column_index]), pk);
+  }
+  return Status::Ok();
+}
+
+bool Database::HasIndex(std::string_view table, std::string_view column) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) return false;
+  const TableData& t = it->second;
+  for (size_t i = 0; i < t.columns.size(); ++i) {
+    if (t.columns[i].name == column) return t.indexes.contains(i);
+  }
+  return false;
+}
+
+std::vector<Row> Database::Lookup(std::string_view table,
+                                  std::string_view column,
+                                  const Value& value) const {
+  std::shared_lock lock(mutex_);
+  std::vector<Row> out;
+  auto it = tables_.find(std::string(table));
+  if (it == tables_.end()) return out;
+  const TableData& t = it->second;
+  size_t column_index = t.columns.size();
+  for (size_t i = 0; i < t.columns.size(); ++i) {
+    if (t.columns[i].name == column) {
+      column_index = i;
+      break;
+    }
+  }
+  if (column_index == t.columns.size()) return out;
+
+  auto index_it = t.indexes.find(column_index);
+  if (index_it != t.indexes.end()) {
+    // Index path: collect primary keys (sorted for key order), fetch rows.
+    const std::string needle = KeyString(value);
+    std::vector<std::string> pks;
+    for (auto e = index_it->second.lower_bound(needle);
+         e != index_it->second.end() && e->first == needle; ++e) {
+      pks.push_back(e->second);
+    }
+    std::sort(pks.begin(), pks.end());
+    for (const auto& pk : pks) {
+      auto row_it = t.rows.find(pk);
+      if (row_it != t.rows.end()) out.push_back(row_it->second);
+    }
+    return out;
+  }
+  // Fallback: linear scan (already in key order).
+  const std::string needle = KeyString(value);
+  for (const auto& [_, row] : t.rows) {
+    if (KeyString(row[column_index]) == needle) out.push_back(row);
+  }
+  return out;
+}
+
+size_t Database::RowCount(std::string_view table) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(std::string(table));
+  return it == tables_.end() ? 0 : it->second.rows.size();
+}
+
+uint64_t Database::LastSeqno() const {
+  std::shared_lock lock(mutex_);
+  return next_seqno_ - 1;
+}
+
+std::vector<ChangeRecord> Database::ChangesSince(uint64_t after,
+                                                 size_t limit) const {
+  std::shared_lock lock(mutex_);
+  std::vector<ChangeRecord> out;
+  // Log seqnos are dense starting at 1 (replicated logs mirror the master's
+  // numbering), so binary-search by seqno.
+  auto it = std::lower_bound(
+      log_.begin(), log_.end(), after + 1,
+      [](const ChangeRecord& r, uint64_t s) { return r.seqno < s; });
+  for (; it != log_.end() && out.size() < limit; ++it) out.push_back(*it);
+  return out;
+}
+
+uint64_t Database::Subscribe(Listener listener) {
+  std::unique_lock lock(mutex_);
+  const uint64_t id = next_listener_id_++;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+void Database::Unsubscribe(uint64_t id) {
+  std::unique_lock lock(mutex_);
+  listeners_.erase(id);
+}
+
+}  // namespace nagano::db

@@ -1,0 +1,148 @@
+// Minimal in-memory relational store — the reproduction's stand-in for the
+// DB2 results database of the Olympic site.
+//
+// What DUP needs from the database layer (and what this provides):
+//  * typed tables with primary keys, point reads and predicate scans, used
+//    by the page generators to render content;
+//  * a totally ordered change log with sequence numbers — the feed the
+//    trigger monitor tails to learn that underlying data changed;
+//  * change subscriptions (callbacks fired on commit) for push-style
+//    consumers, and pull-style ChangesSince() for the replication shipper.
+//
+// Concurrency: a single reader/writer lock over the database. Writes were
+// rare relative to reads at the Olympic site (tens of thousands of updates
+// per day vs tens of millions of requests), so a coarse lock is faithful
+// and keeps the semantics obvious.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace nagano::db {
+
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ColumnType : uint8_t { kInt, kDouble, kString };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type;
+};
+
+using Row = std::vector<Value>;
+
+// Canonical string encoding of a primary-key value (used for row indexing
+// and for naming ODG underlying-data nodes consistently).
+std::string KeyString(const Value& v);
+
+// True iff `v` holds the alternative matching `type`.
+bool TypeMatches(const Value& v, ColumnType type);
+
+enum class ChangeOp : uint8_t { kInsert, kUpdate, kDelete };
+
+// One committed mutation. Carries the full row image so replicas can apply
+// the log without reading back from the master.
+struct ChangeRecord {
+  uint64_t seqno = 0;
+  std::string table;
+  std::string key;  // KeyString of the primary key
+  ChangeOp op = ChangeOp::kInsert;
+  Row row;          // empty for deletes
+  TimeNs committed_at = 0;
+};
+
+class Database {
+ public:
+  explicit Database(const Clock* clock = nullptr);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- schema ---
+  // key_column is an index into `columns`. Fails if the table exists.
+  Status CreateTable(std::string_view table, std::vector<ColumnSpec> columns,
+                     size_t key_column = 0);
+  bool HasTable(std::string_view table) const;
+  std::vector<std::string> TableNames() const;
+  // Index of `column` in `table`'s schema, or error.
+  Result<size_t> ColumnIndex(std::string_view table,
+                             std::string_view column) const;
+
+  // --- mutation (goes through the change log) ---
+  Status Upsert(std::string_view table, Row row);
+  Status Delete(std::string_view table, const Value& key);
+
+  // Applies a replicated change without assigning a new local seqno — used
+  // by replicas so their logs mirror the master's numbering exactly.
+  Status ApplyReplicated(const ChangeRecord& change);
+
+  // --- secondary indexes ---
+  // Builds (and thereafter maintains) an index on `column`. Idempotent.
+  // Page generators hit results-by-event / events-by-day constantly; the
+  // production site's DB2 obviously had them.
+  Status CreateIndex(std::string_view table, std::string_view column);
+  bool HasIndex(std::string_view table, std::string_view column) const;
+
+  // --- query ---
+  Result<Row> Get(std::string_view table, const Value& key) const;
+  // All rows for which pred returns true, in primary-key order.
+  std::vector<Row> Scan(std::string_view table,
+                        const std::function<bool(const Row&)>& pred) const;
+  std::vector<Row> ScanAll(std::string_view table) const;
+  // Rows whose `column` equals `value`, in primary-key order. Uses the
+  // secondary index when one exists, otherwise degrades to a scan.
+  std::vector<Row> Lookup(std::string_view table, std::string_view column,
+                          const Value& value) const;
+  size_t RowCount(std::string_view table) const;
+
+  // --- change feed ---
+  uint64_t LastSeqno() const;
+  // Records with seqno > after, up to limit, in order.
+  std::vector<ChangeRecord> ChangesSince(uint64_t after,
+                                         size_t limit = SIZE_MAX) const;
+
+  using Listener = std::function<void(const ChangeRecord&)>;
+  // Listener fires synchronously on commit, outside the database lock.
+  uint64_t Subscribe(Listener listener);
+  void Unsubscribe(uint64_t id);
+
+ private:
+  struct TableData {
+    std::vector<ColumnSpec> columns;
+    size_t key_column = 0;
+    std::map<std::string, Row> rows;  // KeyString -> row, key-ordered
+    // column index -> (KeyString(column value) -> set of primary keys)
+    std::map<size_t, std::multimap<std::string, std::string>> indexes;
+  };
+
+  Status ValidateRowLocked(const TableData& t, const Row& row) const;
+  void CommitLocked(ChangeRecord change, std::unique_lock<std::shared_mutex>& lock);
+  // Index maintenance around a row mutation; callers hold the write lock.
+  static void UnindexRowLocked(TableData& t, const std::string& pk,
+                               const Row& row);
+  static void IndexRowLocked(TableData& t, const std::string& pk,
+                             const Row& row);
+
+  const Clock* clock_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, TableData> tables_;
+  std::vector<ChangeRecord> log_;
+  uint64_t next_seqno_ = 1;
+  std::map<uint64_t, Listener> listeners_;
+  uint64_t next_listener_id_ = 1;
+};
+
+}  // namespace nagano::db

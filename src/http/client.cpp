@@ -1,0 +1,120 @@
+#include "http/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nagano::http {
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return InvalidArgumentError("bad host " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+Result<HttpResponse> HttpClient::RoundtripOnce(const HttpRequest& request) {
+  if (Status s = EnsureConnected(); !s.ok()) return s;
+
+  const std::string wire = request.Serialize();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return UnavailableError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  ResponseParser parser;
+  char buf[16 * 1024];
+  for (;;) {
+    if (auto response = parser.Next()) return *response;
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return UnavailableError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      Close();
+      return UnavailableError("connection closed mid-response");
+    }
+    if (Status s = parser.Feed(std::string_view(buf, size_t(n))); !s.ok()) {
+      Close();
+      return s;
+    }
+  }
+}
+
+Result<HttpResponse> HttpClient::Roundtrip(const HttpRequest& request) {
+  const bool had_connection = fd_ >= 0;
+  Result<HttpResponse> r = RoundtripOnce(request);
+  if (!r.ok() && had_connection &&
+      r.status().code() == ErrorCode::kUnavailable) {
+    // The server may have expired the idle keep-alive connection; retry on
+    // a fresh one.
+    r = RoundtripOnce(request);
+  }
+  if (r.ok()) {
+    auto it = r.value().headers.find("Connection");
+    if (it != r.value().headers.end() && it->second == "close") Close();
+  }
+  return r;
+}
+
+Result<HttpResponse> HttpClient::Get(std::string_view target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = std::string(target);
+  req.headers["Host"] = host_;
+  return Roundtrip(req);
+}
+
+Result<HttpResponse> HttpClient::FetchOnce(const std::string& host,
+                                           uint16_t port,
+                                           std::string_view target) {
+  HttpClient client(host, port);
+  HttpRequest req;
+  req.method = "GET";
+  req.target = std::string(target);
+  req.headers["Host"] = host;
+  req.headers["Connection"] = "close";
+  return client.Roundtrip(req);
+}
+
+}  // namespace nagano::http

@@ -1,0 +1,45 @@
+// Blocking HTTP/1.1 client with keep-alive, used by tests, examples and the
+// live-server bench driver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "http/message.h"
+
+namespace nagano::http {
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  // Connects (or reuses the persistent connection), sends the request, and
+  // reads one response. Reconnects transparently if the server closed the
+  // persistent connection.
+  Result<HttpResponse> Roundtrip(const HttpRequest& request);
+
+  // Convenience GET against the persistent connection.
+  Result<HttpResponse> Get(std::string_view target);
+
+  // One-shot GET on a fresh connection.
+  static Result<HttpResponse> FetchOnce(const std::string& host, uint16_t port,
+                                        std::string_view target);
+
+  void Close();
+
+ private:
+  Status EnsureConnected();
+  Result<HttpResponse> RoundtripOnce(const HttpRequest& request);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace nagano::http

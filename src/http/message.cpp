@@ -1,0 +1,276 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace nagano::http {
+namespace {
+
+char ToLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLower(a[i]) != ToLower(b[i])) return false;
+  }
+  return true;
+}
+
+// Parses "Name: value" lines from `block` (without the trailing empty line).
+Status ParseHeaders(std::string_view block, HeaderMap& out) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return InvalidArgumentError("malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos) {
+      return InvalidArgumentError("whitespace in header name");
+    }
+    out[std::string(name)] = std::string(TrimOws(line.substr(colon + 1)));
+  }
+  return Status::Ok();
+}
+
+void SerializeHeaders(const HeaderMap& headers, std::string& out) {
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+}
+
+}  // namespace
+
+bool CaseInsensitiveLess::operator()(const std::string& a,
+                                     const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](char x, char y) { return ToLower(x) < ToLower(y); });
+}
+
+std::string HttpRequest::Path() const {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::optional<std::string> HttpRequest::QueryParam(std::string_view key) const {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string_view query(target);
+  query.remove_prefix(q + 1);
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (eq == std::string_view::npos && pair == key) return std::string();
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+bool HttpRequest::KeepAlive() const {
+  auto it = headers.find("Connection");
+  if (it != headers.end()) {
+    if (IEquals(it->second, "close")) return false;
+    if (IEquals(it->second, "keep-alive")) return true;
+  }
+  return version == "HTTP/1.1";  // 1.1 default: persistent
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  HeaderMap h = headers;
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    h["Content-Length"] = std::to_string(body.size());
+  }
+  SerializeHeaders(h, out);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Ok(std::string body, std::string content_type) {
+  HttpResponse r;
+  r.body = std::move(body);
+  r.headers["Content-Type"] = std::move(content_type);
+  return r;
+}
+
+HttpResponse HttpResponse::NotFound(std::string message) {
+  HttpResponse r;
+  r.status = 404;
+  r.reason = "Not Found";
+  r.body = std::move(message);
+  r.headers["Content-Type"] = "text/plain";
+  return r;
+}
+
+HttpResponse HttpResponse::ServerError(std::string message) {
+  HttpResponse r;
+  r.status = 500;
+  r.reason = "Internal Server Error";
+  r.body = std::move(message);
+  r.headers["Content-Type"] = "text/plain";
+  return r;
+}
+
+HttpResponse HttpResponse::ServiceUnavailable(std::string message) {
+  HttpResponse r;
+  r.status = 503;
+  r.reason = "Service Unavailable";
+  r.body = std::move(message);
+  r.headers["Content-Type"] = "text/plain";
+  return r;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out =
+      version + " " + std::to_string(status) + " " + reason + "\r\n";
+  HeaderMap h = headers;
+  h["Content-Length"] = std::to_string(body.size());
+  SerializeHeaders(h, out);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+namespace {
+
+// Splits the start line into up to 3 space-separated tokens.
+Status SplitStartLine(std::string_view line, std::string_view out[3]) {
+  size_t first = line.find(' ');
+  if (first == std::string_view::npos) {
+    return InvalidArgumentError("malformed start line");
+  }
+  size_t second = line.find(' ', first + 1);
+  out[0] = line.substr(0, first);
+  if (second == std::string_view::npos) {
+    out[1] = line.substr(first + 1);
+    out[2] = {};
+  } else {
+    out[1] = line.substr(first + 1, second - first - 1);
+    out[2] = line.substr(second + 1);
+  }
+  if (out[0].empty() || out[1].empty()) {
+    return InvalidArgumentError("empty start-line token");
+  }
+  return Status::Ok();
+}
+
+Status FillStartLine(HttpRequest& msg, std::string_view line) {
+  std::string_view tok[3];
+  if (Status s = SplitStartLine(line, tok); !s.ok()) return s;
+  if (tok[2].empty()) return InvalidArgumentError("missing HTTP version");
+  if (!tok[2].starts_with("HTTP/")) {
+    return InvalidArgumentError("bad HTTP version");
+  }
+  msg.method = std::string(tok[0]);
+  msg.target = std::string(tok[1]);
+  msg.version = std::string(tok[2]);
+  return Status::Ok();
+}
+
+Status FillStartLine(HttpResponse& msg, std::string_view line) {
+  std::string_view tok[3];
+  if (Status s = SplitStartLine(line, tok); !s.ok()) return s;
+  if (!tok[0].starts_with("HTTP/")) {
+    return InvalidArgumentError("bad HTTP version");
+  }
+  int status = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok[1].data(), tok[1].data() + tok[1].size(), status);
+  if (ec != std::errc{} || ptr != tok[1].data() + tok[1].size() ||
+      status < 100 || status > 599) {
+    return InvalidArgumentError("bad status code");
+  }
+  msg.version = std::string(tok[0]);
+  msg.status = status;
+  msg.reason = std::string(tok[2]);
+  return Status::Ok();
+}
+
+}  // namespace
+
+template <typename Message>
+Status MessageParser<Message>::Feed(std::string_view bytes) {
+  buffer_.append(bytes);
+  return TryParse();
+}
+
+template <typename Message>
+Status MessageParser<Message>::TryParse() {
+  for (;;) {
+    const size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        return ResourceExhaustedError("header block too large");
+      }
+      return Status::Ok();
+    }
+
+    const std::string_view head(buffer_.data(), header_end);
+    const size_t line_end = head.find("\r\n");
+    const std::string_view start_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+    Message msg;
+    if (Status s = FillStartLine(msg, start_line); !s.ok()) return s;
+    const std::string_view header_block =
+        line_end == std::string_view::npos ? std::string_view{}
+                                           : head.substr(line_end + 2);
+    if (Status s = ParseHeaders(header_block, msg.headers); !s.ok()) return s;
+
+    size_t body_len = 0;
+    if (auto it = msg.headers.find("Content-Length"); it != msg.headers.end()) {
+      const auto [ptr, ec] = std::from_chars(
+          it->second.data(), it->second.data() + it->second.size(), body_len);
+      if (ec != std::errc{} || ptr != it->second.data() + it->second.size()) {
+        return InvalidArgumentError("bad Content-Length");
+      }
+      if (body_len > kMaxBodyBytes) {
+        return ResourceExhaustedError("body too large");
+      }
+    }
+
+    const size_t total = header_end + 4 + body_len;
+    if (buffer_.size() < total) return Status::Ok();  // need more bytes
+
+    msg.body = buffer_.substr(header_end + 4, body_len);
+    buffer_.erase(0, total);
+    ready_.push_back(std::move(msg));
+  }
+}
+
+template <typename Message>
+std::optional<Message> MessageParser<Message>::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Message msg = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return msg;
+}
+
+template class MessageParser<HttpRequest>;
+template class MessageParser<HttpResponse>;
+
+}  // namespace nagano::http

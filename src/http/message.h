@@ -1,0 +1,88 @@
+// HTTP/1.1 message model and incremental parser (RFC 7230 subset:
+// request-line/status-line, headers, Content-Length bodies, keep-alive).
+// Enough protocol for a FastCGI-era dynamic-page server; chunked encoding
+// and trailers are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nagano::http {
+
+// Case-insensitive header map (header names are case-insensitive per RFC).
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using HeaderMap = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, e.g. "/day/7?lang=en"
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  // Path without the query string; "/day/7" for the target above.
+  std::string Path() const;
+  // Value of a query parameter, or nullopt.
+  std::optional<std::string> QueryParam(std::string_view key) const;
+  bool KeepAlive() const;
+
+  std::string Serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  static HttpResponse Ok(std::string body,
+                         std::string content_type = "text/html");
+  static HttpResponse NotFound(std::string message = "not found");
+  static HttpResponse ServerError(std::string message = "internal error");
+  static HttpResponse ServiceUnavailable(std::string message = "unavailable");
+
+  // Sets Content-Length from body and serializes.
+  std::string Serialize() const;
+};
+
+// Incremental parser: feed bytes as they arrive; a complete message is
+// surfaced once per Feed cycle. Handles pipelined messages (leftover bytes
+// stay buffered).
+template <typename Message>
+class MessageParser {
+ public:
+  // Appends bytes. Returns an error on malformed input (the connection
+  // should be dropped).
+  Status Feed(std::string_view bytes);
+
+  // Extracts the next complete message, if any.
+  std::optional<Message> Next();
+
+  // Bytes currently buffered (for tests / flow control).
+  size_t buffered() const { return buffer_.size(); }
+
+  // Maximum header block / body sizes; exceeding either is a parse error
+  // (defense against unbounded memory growth from a bad peer).
+  static constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr size_t kMaxBodyBytes = 64 * 1024 * 1024;
+
+ private:
+  Status TryParse();
+
+  std::string buffer_;
+  std::vector<Message> ready_;
+};
+
+using RequestParser = MessageParser<HttpRequest>;
+using ResponseParser = MessageParser<HttpResponse>;
+
+}  // namespace nagano::http

@@ -1,0 +1,274 @@
+#include "http/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace nagano::http {
+
+struct HttpServer::Connection {
+  int fd = -1;
+  RequestParser parser;
+  std::string out;        // bytes pending write
+  size_t out_offset = 0;  // already written
+  bool close_after_flush = false;
+  bool want_write = false;
+};
+
+struct HttpServer::Impl {
+  std::unordered_map<int, Connection> connections;
+};
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  impl_ = new Impl;
+}
+
+HttpServer::~HttpServer() {
+  Stop();
+  delete impl_;
+}
+
+Status HttpServer::Start() {
+  if (running_.exchange(true)) {
+    return FailedPreconditionError("server already running");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    running_ = false;
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    running_ = false;
+    return InvalidArgumentError("bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    running_ = false;
+    return UnavailableError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    ::close(listen_fd_);
+    running_ = false;
+    return InternalError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return InternalError("epoll/eventfd creation failed");
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  loop_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_.joinable()) loop_.join();
+  for (auto& [fd, conn] : impl_->connections) ::close(fd);
+  impl_->connections.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void HttpServer::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LOG_ERROR("epoll_wait: %s", std::strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      auto it = impl_->connections.find(fd);
+      if (it == impl_->connections.end()) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(it->second);
+      // The connection may have been closed by the read path.
+      it = impl_->connections.find(fd);
+      if (it != impl_->connections.end() && (events[i].events & EPOLLOUT)) {
+        HandleWritable(it->second);
+      }
+    }
+  }
+}
+
+void HttpServer::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      LOG_WARN("accept: %s", std::strerror(errno));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    Connection& conn = impl_->connections[fd];
+    conn.fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void HttpServer::HandleReadable(Connection& conn) {
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (Status s = conn.parser.Feed(std::string_view(buf, size_t(n))); !s.ok()) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse bad;
+        bad.status = 400;
+        bad.reason = "Bad Request";
+        bad.body = s.message();
+        conn.out += bad.Serialize();
+        conn.close_after_flush = true;
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn.fd);
+    return;
+  }
+
+  while (auto request = conn.parser.Next()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response = handler_(*request);
+    if (!request->KeepAlive()) {
+      response.headers["Connection"] = "close";
+      conn.close_after_flush = true;
+    }
+    conn.out += response.Serialize();
+    if (conn.close_after_flush) break;
+  }
+  if (!conn.out.empty()) HandleWritable(conn);
+}
+
+void HttpServer::HandleWritable(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                              conn.out.size() - conn.out_offset);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn.fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    CloseConnection(conn.fd);
+    return;
+  }
+  // Fully flushed.
+  conn.out.clear();
+  conn.out_offset = 0;
+  if (conn.close_after_flush) {
+    CloseConnection(conn.fd);
+    return;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+}
+
+void HttpServer::CloseConnection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  impl_->connections.erase(fd);
+}
+
+ServerStats HttpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_.load(std::memory_order_relaxed);
+  s.requests_served = requests_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nagano::http

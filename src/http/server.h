@@ -1,0 +1,80 @@
+// Epoll-based HTTP/1.1 server. Single event-loop thread, non-blocking
+// sockets, keep-alive and pipelining support. Handlers run on the loop
+// thread — the Olympic serving path is cache-hit dominated, so handler
+// latency is microseconds and a single loop per "server node" mirrors the
+// paper's uniprocessor front ends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "http/message.h"
+
+namespace nagano::http {
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_served = 0;
+  uint64_t parse_errors = 0;
+  uint64_t bytes_out = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+    int backlog = 128;
+  };
+
+  explicit HttpServer(Handler handler) : HttpServer(std::move(handler), Options()) {}
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens, and starts the event-loop thread.
+  Status Start();
+
+  // Closes the listener and every connection, joins the loop. Idempotent.
+  void Stop();
+
+  // The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  void Loop();
+  void AcceptNew();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void CloseConnection(int fd);
+
+  Handler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+
+  // Connection table owned by the loop thread; stats are atomics so the
+  // accessor needs no lock.
+  std::atomic<uint64_t> connections_{0}, requests_{0}, parse_errors_{0},
+      bytes_out_{0};
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace nagano::http

@@ -1,0 +1,221 @@
+#include "odg/dup.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nagano::odg {
+namespace {
+
+bool IsCacheable(NodeKind k) {
+  return k == NodeKind::kObject || k == NodeKind::kBoth;
+}
+
+using Adjacency = std::vector<std::vector<Edge>>;
+
+// Iterative Tarjan restricted to the reachable set. Fills comp[v] with a
+// component index; components are numbered in *reverse* topological order
+// (a component's successors always receive smaller indices).
+class TarjanScc {
+ public:
+  TarjanScc(const Adjacency& out, const std::vector<char>& reachable)
+      : out_(out),
+        reachable_(reachable),
+        index_(out.size(), kUnvisited),
+        low_(out.size(), 0),
+        on_stack_(out.size(), 0),
+        comp_(out.size(), kNoComp) {}
+
+  void Run() {
+    for (NodeId v = 0; v < out_.size(); ++v) {
+      if (reachable_[v] && index_[v] == kUnvisited) Visit(v);
+    }
+  }
+
+  uint32_t comp(NodeId v) const { return comp_[v]; }
+  uint32_t num_components() const { return next_comp_; }
+
+ private:
+  static constexpr uint32_t kUnvisited = UINT32_MAX;
+  static constexpr uint32_t kNoComp = UINT32_MAX;
+
+  struct Frame {
+    NodeId v;
+    size_t edge = 0;
+  };
+
+  void Visit(NodeId root) {
+    std::vector<Frame> frames{{root, 0}};
+    index_[root] = low_[root] = next_index_++;
+    stack_.push_back(root);
+    on_stack_[root] = 1;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = out_[f.v];
+      bool descended = false;
+      while (f.edge < edges.size()) {
+        const NodeId w = edges[f.edge].to;
+        ++f.edge;
+        if (!reachable_[w]) continue;
+        if (index_[w] == kUnvisited) {
+          index_[w] = low_[w] = next_index_++;
+          stack_.push_back(w);
+          on_stack_[w] = 1;
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[f.v] = std::min(low_[f.v], index_[w]);
+      }
+      if (descended) continue;
+
+      // f.v is finished: pop its component if it is a root.
+      const NodeId v = f.v;
+      if (low_[v] == index_[v]) {
+        for (;;) {
+          const NodeId w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = 0;
+          comp_[w] = next_comp_;
+          if (w == v) break;
+        }
+        ++next_comp_;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low_[frames.back().v] = std::min(low_[frames.back().v], low_[v]);
+      }
+    }
+  }
+
+  const Adjacency& out_;
+  const std::vector<char>& reachable_;
+  std::vector<uint32_t> index_, low_;
+  std::vector<char> on_stack_;
+  std::vector<uint32_t> comp_;
+  std::vector<NodeId> stack_;
+  uint32_t next_index_ = 0;
+  uint32_t next_comp_ = 0;
+};
+
+}  // namespace
+
+DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
+                                     std::span<const NodeId> changed,
+                                     const DupOptions& options) {
+  const bool simple = options.enable_simple_fast_path && graph.IsSimple();
+
+  return graph.WithSnapshot([&](const Adjacency& out, const Adjacency& in,
+                                const std::vector<NodeKind>& kinds) {
+    DupResult result;
+    const size_t n = kinds.size();
+
+    std::vector<char> is_changed(n, 0);
+    for (NodeId c : changed) {
+      if (c < n) is_changed[c] = 1;
+    }
+
+    if (simple) {
+      // Bipartite fast path: the affected objects are exactly the
+      // out-neighbours of the changed vertices.
+      result.used_simple_path = true;
+      std::vector<char> emitted(n, 0);
+      for (NodeId c = 0; c < n; ++c) {
+        if (!is_changed[c]) continue;
+        ++result.visited;
+        for (const Edge& e : out[c]) {
+          if (emitted[e.to] || is_changed[e.to]) continue;
+          emitted[e.to] = 1;
+          ++result.visited;
+          if (IsCacheable(kinds[e.to]) && 1.0 > options.obsolescence_threshold) {
+            result.affected.push_back(AffectedObject{e.to, 1.0});
+          }
+        }
+      }
+      std::sort(result.affected.begin(), result.affected.end(),
+                [](const AffectedObject& a, const AffectedObject& b) {
+                  return a.id < b.id;
+                });
+      return result;
+    }
+
+    // --- General path ---
+    // 1. Forward reachability from the changed set.
+    std::vector<char> reachable(n, 0);
+    std::vector<NodeId> frontier;
+    for (NodeId c = 0; c < n; ++c) {
+      if (is_changed[c]) {
+        reachable[c] = 1;
+        frontier.push_back(c);
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeId v = frontier.back();
+      frontier.pop_back();
+      for (const Edge& e : out[v]) {
+        if (!reachable[e.to]) {
+          reachable[e.to] = 1;
+          frontier.push_back(e.to);
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) result.visited += reachable[v];
+
+    // 2. Condense cycles among reachable vertices.
+    TarjanScc scc(out, reachable);
+    scc.Run();
+    const uint32_t num_comps = scc.num_components();
+
+    // Tarjan emits components in reverse topological order; iterating
+    // component index descending processes dependency sources first.
+    std::vector<std::vector<NodeId>> members(num_comps);
+    for (NodeId v = 0; v < n; ++v) {
+      if (reachable[v]) members[scc.comp(v)].push_back(v);
+    }
+
+    std::vector<double> obs(n, 0.0);
+    std::vector<double> comp_score(num_comps, 0.0);
+
+    for (uint32_t ci = num_comps; ci-- > 0;) {
+      double score = 0.0;
+      for (const NodeId v : members[ci]) {
+        if (is_changed[v]) {
+          score = 1.0;
+          break;
+        }
+        // Total incoming weight over *all* edges (changed or not) — the
+        // denominator that makes weights express relative importance.
+        double total_in = 0.0;
+        double changed_in = 0.0;
+        for (const Edge& e : in[v]) {
+          total_in += e.weight;
+          if (reachable[e.to] && scc.comp(e.to) != ci) {
+            changed_in += e.weight * obs[e.to];
+          }
+        }
+        if (total_in > 0.0) {
+          score = std::max(score, std::min(1.0, changed_in / total_in));
+        }
+      }
+      comp_score[ci] = score;
+      for (const NodeId v : members[ci]) obs[v] = score;
+    }
+
+    // 3. Emit cacheable, sufficiently obsolete vertices in dependency
+    // order (sources first), excluding the changed inputs themselves.
+    for (uint32_t ci = num_comps; ci-- > 0;) {
+      std::vector<NodeId> sorted = members[ci];
+      std::sort(sorted.begin(), sorted.end());
+      for (const NodeId v : sorted) {
+        if (is_changed[v]) continue;
+        if (!IsCacheable(kinds[v])) continue;
+        if (obs[v] > options.obsolescence_threshold) {
+          result.affected.push_back(AffectedObject{v, obs[v]});
+        }
+      }
+    }
+    return result;
+  });
+}
+
+}  // namespace nagano::odg

@@ -1,0 +1,177 @@
+#include "odg/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nagano::odg {
+namespace {
+
+// Widening lattice: data + object = both.
+NodeKind WidenKind(NodeKind a, NodeKind b) {
+  if (a == b) return a;
+  return NodeKind::kBoth;
+}
+
+}  // namespace
+
+NodeId ObjectDependenceGraph::EnsureNode(std::string_view node_name,
+                                         NodeKind node_kind) {
+  std::unique_lock lock(mutex_);
+  const InternId id = names_.Intern(node_name);
+  if (id >= kinds_.size()) {
+    kinds_.resize(id + 1, node_kind);
+    out_.resize(id + 1);
+    in_.resize(id + 1);
+    ++version_;
+  } else {
+    const NodeKind widened = WidenKind(kinds_[id], node_kind);
+    if (widened != kinds_[id]) {
+      kinds_[id] = widened;
+      ++version_;
+    }
+  }
+  return id;
+}
+
+NodeId ObjectDependenceGraph::Find(std::string_view node_name) const {
+  std::shared_lock lock(mutex_);
+  const InternId id = names_.Lookup(node_name);
+  return id == kInvalidInternId ? kInvalidNode : id;
+}
+
+Status ObjectDependenceGraph::AddDependence(NodeId from, NodeId to,
+                                            double weight) {
+  std::unique_lock lock(mutex_);
+  if (from >= kinds_.size() || to >= kinds_.size()) {
+    return InvalidArgumentError("AddDependence: unknown node id");
+  }
+  if (from == to) {
+    return InvalidArgumentError("AddDependence: self-dependence rejected");
+  }
+  if (weight <= 0.0) {
+    return InvalidArgumentError("AddDependence: weight must be positive");
+  }
+  for (Edge& e : out_[from]) {
+    if (e.to == to) {  // re-weight existing edge
+      if (e.weight != weight) {
+        e.weight = weight;
+        for (Edge& r : in_[to]) {
+          if (r.to == from) r.weight = weight;
+        }
+        if (weight != 1.0) has_custom_weights_ = true;
+        ++version_;
+      }
+      return Status::Ok();
+    }
+  }
+  out_[from].push_back(Edge{to, weight});
+  in_[to].push_back(Edge{from, weight});
+  ++edge_count_;
+  ++version_;
+  if (weight != 1.0) has_custom_weights_ = true;
+  return Status::Ok();
+}
+
+Status ObjectDependenceGraph::RemoveDependence(NodeId from, NodeId to) {
+  std::unique_lock lock(mutex_);
+  if (from >= kinds_.size() || to >= kinds_.size()) {
+    return InvalidArgumentError("RemoveDependence: unknown node id");
+  }
+  auto& edges = out_[from];
+  auto it = std::find_if(edges.begin(), edges.end(),
+                         [to](const Edge& e) { return e.to == to; });
+  if (it == edges.end()) {
+    return NotFoundError("RemoveDependence: edge absent");
+  }
+  edges.erase(it);
+  auto& rev = in_[to];
+  rev.erase(std::find_if(rev.begin(), rev.end(),
+                         [from](const Edge& e) { return e.to == from; }));
+  --edge_count_;
+  ++version_;
+  return Status::Ok();
+}
+
+void ObjectDependenceGraph::ClearInEdges(NodeId of) {
+  std::unique_lock lock(mutex_);
+  if (of >= kinds_.size()) return;
+  for (const Edge& e : in_[of]) {
+    auto& edges = out_[e.to];
+    edges.erase(std::find_if(edges.begin(), edges.end(),
+                             [of](const Edge& o) { return o.to == of; }));
+    --edge_count_;
+  }
+  if (!in_[of].empty()) ++version_;
+  in_[of].clear();
+}
+
+bool ObjectDependenceGraph::HasEdgeLocked(NodeId from, NodeId to) const {
+  if (from >= out_.size()) return false;
+  return std::any_of(out_[from].begin(), out_[from].end(),
+                     [to](const Edge& e) { return e.to == to; });
+}
+
+bool ObjectDependenceGraph::HasEdge(NodeId from, NodeId to) const {
+  std::shared_lock lock(mutex_);
+  return HasEdgeLocked(from, to);
+}
+
+NodeKind ObjectDependenceGraph::kind(NodeId id) const {
+  std::shared_lock lock(mutex_);
+  assert(id < kinds_.size());
+  return kinds_[id];
+}
+
+std::string_view ObjectDependenceGraph::name(NodeId id) const {
+  // StringInterner is internally synchronized and storage is stable.
+  return names_.Name(id);
+}
+
+size_t ObjectDependenceGraph::node_count() const {
+  std::shared_lock lock(mutex_);
+  return kinds_.size();
+}
+
+size_t ObjectDependenceGraph::edge_count() const {
+  std::shared_lock lock(mutex_);
+  return edge_count_;
+}
+
+GraphStats ObjectDependenceGraph::stats() const {
+  std::shared_lock lock(mutex_);
+  return GraphStats{kinds_.size(), edge_count_, version_};
+}
+
+std::vector<Edge> ObjectDependenceGraph::OutEdges(NodeId id) const {
+  std::shared_lock lock(mutex_);
+  assert(id < out_.size());
+  return out_[id];
+}
+
+std::vector<Edge> ObjectDependenceGraph::InEdges(NodeId id) const {
+  std::shared_lock lock(mutex_);
+  assert(id < in_.size());
+  return in_[id];
+}
+
+bool ObjectDependenceGraph::IsSimple() const {
+  std::shared_lock lock(mutex_);
+  if (has_custom_weights_) return false;
+  for (NodeId v = 0; v < kinds_.size(); ++v) {
+    switch (kinds_[v]) {
+      case NodeKind::kUnderlyingData:
+        if (!in_[v].empty()) return false;
+        break;
+      case NodeKind::kObject:
+        if (!out_[v].empty()) return false;
+        break;
+      case NodeKind::kBoth:
+        // An intermediate vertex: the graph is not simple per Fig. 2.
+        if (!in_[v].empty() && !out_[v].empty()) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace nagano::odg

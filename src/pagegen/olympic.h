@@ -1,0 +1,132 @@
+// Synthetic Olympic Games content model — the reproduction's stand-in for
+// the Nagano results database and the 1998 site's page family (§3.1).
+//
+// The module provides:
+//  * the database schema (sports, events, athletes, countries, results,
+//    medals, news) and a deterministic population of it;
+//  * page generators for the 1998 structure — per-day home pages, sport,
+//    event, athlete, country, medal-standings and news pages, plus the
+//    shared fragments of Fig. 15 (medal table, event summaries, latest
+//    news) — registered against a PageRenderer;
+//  * the change -> underlying-data-node mapper the trigger monitor uses:
+//    given a committed ChangeRecord it names the ODG data vertices that
+//    changed ("results:event:12", "medals:*", ...). Generators record
+//    dependencies using the same names, which is what makes DUP precise
+//    (the 1996 site lacked this and had to over-invalidate);
+//  * mutation helpers that model the result feed: RecordResult,
+//    CompleteEvent (awards medals and bumps country tallies), PublishNews.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "db/database.h"
+#include "pagegen/renderer.h"
+
+namespace nagano::pagegen {
+
+struct OlympicConfig {
+  int days = 16;
+  int num_sports = 7;
+  int events_per_sport = 10;       // spread across the days
+  int athletes_per_event = 12;
+  int num_countries = 24;
+  int initial_news_articles = 20;
+  uint64_t seed = 19980207;        // opening day of the Nagano games
+
+  // §3.1: "approximately 87,000 unique pages in both English and
+  // Japanese; all news articles were also available in French." The first
+  // language is the default and serves unprefixed URLs ("/day/7"); others
+  // get a prefix ("/ja/day/7"). French renders news pages only.
+  std::vector<std::string> languages = {"en", "ja"};
+  bool french_news = true;
+};
+
+class OlympicSite {
+ public:
+  // Creates the seven Olympic tables (sports, events, athletes, countries,
+  // results, medals, news) without any rows — what a fresh replica needs
+  // before the change log replays content into it.
+  static Status CreateSchema(db::Database* db);
+
+  // CreateSchema + deterministic population of the static content
+  // (sports/events/athletes/countries and the pre-games news archive).
+  // The database must be empty of these tables.
+  static Status Build(const OlympicConfig& config, db::Database* db);
+
+  // Registers every 1998-structure page and fragment generator.
+  static void RegisterGenerators(const OlympicConfig& config,
+                                 db::Database* db, PageRenderer* renderer);
+
+  // Names the underlying-data ODG vertices affected by a committed change.
+  // Used by the trigger monitor.
+  static std::vector<std::string> MapChangeToDataNodes(
+      const db::ChangeRecord& change, const db::Database& db);
+
+  // Every page (not fragment) the site serves, for prefetch warm-up; the
+  // paper's site cached all ~21,000 dynamic pages.
+  static std::vector<std::string> AllPageNames(const OlympicConfig& config,
+                                               const db::Database& db);
+  // Every fragment name.
+  static std::vector<std::string> AllFragmentNames(const OlympicConfig& config,
+                                                   const db::Database& db);
+
+  // --- result-feed mutations (what the scoring system produced) ---
+
+  // Upserts one result row for (event, rank); marks the event in progress.
+  static Status RecordResult(db::Database* db, int64_t event_id, int64_t rank,
+                             int64_t athlete_id, double score);
+
+  // Marks the event final, writes the medals row from ranks 1-3, and bumps
+  // the three countries' tallies. One call fans out across event, sport,
+  // day-home, athlete, country, and medal pages — the paper's "completion
+  // of an event could cause over a hundred pages to change".
+  static Status CompleteEvent(db::Database* db, int64_t event_id);
+
+  static Status PublishNews(db::Database* db, int64_t article_id, int day,
+                            std::string_view title, std::string_view body,
+                            int64_t sport_id);
+
+  // "Photographs were classified by hand and dynamically inserted into the
+  // appropriate News, Results, Athlete, Country, Venue, and Today pages."
+  // subject_kind is one of "event", "athlete", "country", "venue"; the
+  // photo appears on that subject's pages (and the day home via the event).
+  static Status PublishPhoto(db::Database* db, int64_t photo_id,
+                             std::string_view caption,
+                             std::string_view subject_kind,
+                             std::string_view subject_id, int day);
+
+  // --- id helpers shared with benches/tests ---
+  // The default language ("en") serves unprefixed names; any other
+  // language code prefixes pages with "/<lang>" and fragments with
+  // "frag:<lang>:".
+  static std::string DayHomePage(int day, std::string_view lang = "en");
+  static std::string SportPage(int64_t sport_id, std::string_view lang = "en");
+  static std::string EventPage(int64_t event_id, std::string_view lang = "en");
+  static std::string AthletePage(int64_t athlete_id,
+                                 std::string_view lang = "en");
+  static std::string CountryPage(std::string_view code,
+                                 std::string_view lang = "en");
+  static std::string NewsPage(int64_t article_id, std::string_view lang = "en");
+  static std::string EventFragment(int64_t event_id,
+                                   std::string_view lang = "en");
+  static std::string MedalsPage(std::string_view lang = "en");
+  static std::string NewsIndexPage(std::string_view lang = "en");
+  // Venue names are slugified into the URL ("White Ring" -> "White_Ring").
+  static std::string VenuePage(std::string_view venue_name,
+                               std::string_view lang = "en");
+  static std::string NaganoPage(std::string_view lang = "en");
+  static std::string FunPage(std::string_view lang = "en");
+  static std::string MedalsFragment(std::string_view lang = "en");
+  static std::string LatestNewsFragment(std::string_view lang = "en");
+  static constexpr const char* kMedalsPage = "/medals";
+  static constexpr const char* kNewsIndexPage = "/news";
+  static constexpr const char* kMedalsFragment = "frag:medals";
+  static constexpr const char* kLatestNewsFragment = "frag:news:latest";
+};
+
+}  // namespace nagano::pagegen

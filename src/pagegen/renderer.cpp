@@ -1,0 +1,132 @@
+#include "pagegen/renderer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nagano::pagegen {
+
+PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
+                           cache::ObjectCache* cache)
+    : graph_(graph), cache_(cache) {
+  assert(graph_ != nullptr);
+  assert(cache_ != nullptr);
+}
+
+void PageRenderer::RegisterExact(std::string name, PageGenerator generator) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exact_[std::move(name)] = std::move(generator);
+}
+
+void PageRenderer::RegisterPrefix(std::string prefix, PageGenerator generator) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  prefixes_[std::move(prefix)] = std::move(generator);
+}
+
+const PageGenerator* PageRenderer::FindGenerator(std::string_view page) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = exact_.find(std::string(page)); it != exact_.end()) {
+    return &it->second;
+  }
+  // Longest matching prefix: scan candidates not past `page` in order.
+  const PageGenerator* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, gen] : prefixes_) {
+    if (page.starts_with(prefix) && prefix.size() >= best_len) {
+      best = &gen;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+bool PageRenderer::CanGenerate(std::string_view page) const {
+  return FindGenerator(page) != nullptr;
+}
+
+Result<std::string> PageRenderer::RenderAndCache(std::string_view page) {
+  RenderState state;
+  return RenderInternal(page, /*store=*/true, state);
+}
+
+Result<std::string> PageRenderer::RenderOnly(std::string_view page) {
+  RenderState state;
+  return RenderInternal(page, /*store=*/false, state);
+}
+
+Result<std::string> PageRenderer::RenderInternal(std::string_view page,
+                                                 bool store,
+                                                 RenderState& state) {
+  const std::string page_name(page);
+  if (std::find(state.stack.begin(), state.stack.end(), page_name) !=
+      state.stack.end()) {
+    return FailedPreconditionError("fragment include cycle at " + page_name);
+  }
+  const PageGenerator* generator = FindGenerator(page);
+  if (generator == nullptr) {
+    return NotFoundError("no generator for " + page_name);
+  }
+
+  state.stack.push_back(page_name);
+
+  DependencyRecorder recorder;
+  std::vector<std::string> fragments_used;
+  uint64_t fragment_hits = 0;
+
+  // Fragments come from the cache when present; otherwise they are rendered
+  // (and cached) recursively, sharing this render's cycle-detection stack.
+  FragmentResolver resolver =
+      [&](std::string_view fragment) -> Result<std::string> {
+    fragments_used.emplace_back(fragment);
+    if (auto cached = cache_->Peek(fragment)) {
+      ++fragment_hits;
+      return cached->body;
+    }
+    return RenderInternal(fragment, /*store=*/true, state);
+  };
+
+  RenderRequest request{page, recorder, resolver};
+  Result<std::string> body = (*generator)(request);
+
+  state.stack.pop_back();
+
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.generator_errors;
+    return body;
+  }
+
+  // Sync the ODG: this page's in-edges become exactly what this render
+  // observed. Kind widening in EnsureNode turns a page that others embed
+  // into kBoth automatically.
+  const odg::NodeId page_node =
+      graph_->EnsureNode(page_name, odg::NodeKind::kObject);
+  graph_->ClearInEdges(page_node);
+  for (const auto& [dep, weight] : recorder.data_deps()) {
+    const odg::NodeId data_node =
+        graph_->EnsureNode(dep, odg::NodeKind::kUnderlyingData);
+    (void)graph_->AddDependence(data_node, page_node, weight);
+  }
+  for (const std::string& frag : fragments_used) {
+    const odg::NodeId frag_node =
+        graph_->EnsureNode(frag, odg::NodeKind::kBoth);
+    (void)graph_->AddDependence(frag_node, page_node);
+  }
+
+  if (store) {
+    cache_->Put(page_name, body.value());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pages_rendered;
+    stats_.fragment_cache_hits += fragment_hits;
+  }
+  return body;
+}
+
+RendererStats PageRenderer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nagano::pagegen

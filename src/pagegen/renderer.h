@@ -1,0 +1,108 @@
+// Page renderer with automatic dependency recording.
+//
+// Every cacheable object at the Olympic site — full pages and shared
+// fragments — is produced by a registered generator. While a generator
+// runs, it records the underlying data it read (database rows/tables,
+// editorial files) and every fragment it spliced; the renderer then syncs
+// those observations into the Object Dependence Graph. This is the
+// "application program ... responsible for communicating data dependencies
+// ... to the cache" of paper §2, automated so the ODG can never drift from
+// what a page actually contains.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/object_cache.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "odg/graph.h"
+#include "pagegen/template.h"
+
+namespace nagano::pagegen {
+
+// Collects the underlying-data names a generator reads. Names follow the
+// convention "<table>:<key>" for a row and "<table>:*" for a whole-table
+// scan (e.g. the medal standings page depends on "countries:*").
+//
+// The optional weight expresses the importance of the dependence (paper
+// Fig. 1): a result table is the substance of an event page (high weight)
+// while the latest-news box is garnish (low weight). Weights feed the
+// quantitative-obsolescence threshold policy; with the default weight the
+// ODG stays unweighted.
+class DependencyRecorder {
+ public:
+  void DependsOnData(std::string node_name, double weight = 1.0) {
+    data_deps_.emplace_back(std::move(node_name), weight);
+  }
+  const std::vector<std::pair<std::string, double>>& data_deps() const {
+    return data_deps_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> data_deps_;
+};
+
+struct RenderRequest {
+  std::string_view page;            // object name, e.g. "/event/12/results"
+  DependencyRecorder& deps;         // record data dependencies here
+  const FragmentResolver& fragments;  // pass to CompiledTemplate::Render
+};
+
+// Produces the page body. Fragment usage is recorded by the resolver; data
+// usage by the recorder.
+using PageGenerator = std::function<Result<std::string>(const RenderRequest&)>;
+
+struct RendererStats {
+  uint64_t pages_rendered = 0;
+  uint64_t fragment_cache_hits = 0;  // fragments spliced straight from cache
+  uint64_t generator_errors = 0;
+};
+
+class PageRenderer {
+ public:
+  PageRenderer(odg::ObjectDependenceGraph* graph, cache::ObjectCache* cache);
+
+  // Exact-name generator ("/medals") or prefix family ("/athlete/"). When
+  // both match, exact wins; among prefixes, the longest wins.
+  void RegisterExact(std::string name, PageGenerator generator);
+  void RegisterPrefix(std::string prefix, PageGenerator generator);
+
+  bool CanGenerate(std::string_view page) const;
+
+  // Renders `page`, updates its ODG dependence edges, stores the body in
+  // the cache, and returns it. Fragments referenced via {{>...}} are pulled
+  // from the cache or rendered (and cached) recursively; include cycles are
+  // an error.
+  Result<std::string> RenderAndCache(std::string_view page);
+
+  // Render without storing — used for never-cache pages and for measuring
+  // raw generation cost.
+  Result<std::string> RenderOnly(std::string_view page);
+
+  RendererStats stats() const;
+
+ private:
+  struct RenderState {
+    std::vector<std::string> stack;  // active renders, for cycle detection
+  };
+
+  Result<std::string> RenderInternal(std::string_view page, bool store,
+                                     RenderState& state);
+  const PageGenerator* FindGenerator(std::string_view page) const;
+
+  odg::ObjectDependenceGraph* graph_;
+  cache::ObjectCache* cache_;
+
+  mutable std::mutex mutex_;  // guards registries and stats
+  std::map<std::string, PageGenerator> exact_;
+  std::map<std::string, PageGenerator> prefixes_;
+  RendererStats stats_;
+};
+
+}  // namespace nagano::pagegen

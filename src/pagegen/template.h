@@ -1,0 +1,103 @@
+// Compiled text templates for page rendering.
+//
+// The Olympic pages were "dynamically combined" from results, news, photos
+// and hand-edited content (paper §3.1, Fig. 15): a page is a template whose
+// holes are filled from database-derived context and whose larger blocks
+// are shared *fragments* (medal table, event summary, latest-news box) that
+// are themselves cacheable objects in the ODG.
+//
+// Syntax (mustache subset):
+//   {{name}}        value substitution (HTML-escaped)
+//   {{{name}}}      raw substitution
+//   {{#list}}...{{/list}}   repeat body once per list item
+//   {{^list}}...{{/list}}   render body only when list is absent/empty
+//   {{>fragment}}   splice another object's rendered body; the engine
+//                   reports every fragment used so the caller can record
+//                   fragment -> page dependence edges
+//   {{!comment}}    dropped
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nagano::pagegen {
+
+// Hierarchical render context: string scalars and lists of child contexts.
+class TemplateContext {
+ public:
+  TemplateContext& Set(std::string key, std::string value);
+  TemplateContext& Set(std::string key, int64_t value);
+  TemplateContext& Set(std::string key, double value);
+  TemplateContext& SetList(std::string key, std::vector<TemplateContext> items);
+
+  // nullptr when absent or when the slot holds the other shape.
+  const std::string* GetString(std::string_view key) const;
+  const std::vector<TemplateContext>* GetList(std::string_view key) const;
+
+ private:
+  struct Slot {
+    std::string key;
+    std::string str;
+    std::vector<TemplateContext> list;
+    bool is_list = false;
+  };
+  Slot& SlotFor(std::string key);
+  std::vector<Slot> slots_;
+};
+
+// Resolves {{>fragment}} to the fragment's current body. Returning an error
+// renders an HTML comment placeholder and surfaces the error in
+// RenderOutput::missing_fragments.
+using FragmentResolver =
+    std::function<Result<std::string>(std::string_view fragment_name)>;
+
+struct RenderOutput {
+  std::string body;
+  std::vector<std::string> fragments_used;    // names seen in {{>...}}
+  std::vector<std::string> missing_fragments; // resolver failures
+};
+
+class CompiledTemplate {
+ public:
+  // Parses `source`. Fails on unbalanced sections or malformed tags.
+  static Result<CompiledTemplate> Compile(std::string_view source);
+
+  RenderOutput Render(const TemplateContext& context,
+                      const FragmentResolver& fragments = nullptr) const;
+
+  size_t node_count() const;
+
+ private:
+  friend class TemplateParser;
+
+  enum class NodeType : uint8_t {
+    kText,
+    kVariable,     // escaped
+    kRawVariable,
+    kSection,      // children repeated per list item
+    kInverted,     // children rendered when list empty/absent
+    kFragment,
+  };
+  struct Node {
+    NodeType type;
+    std::string text;  // literal text, variable name, or fragment name
+    std::vector<Node> children;
+  };
+
+  void RenderNodes(const std::vector<Node>& nodes,
+                   const std::vector<const TemplateContext*>& scope,
+                   const FragmentResolver& fragments, RenderOutput& out) const;
+
+  std::vector<Node> roots_;
+};
+
+// &, <, >, " escaped.
+std::string HtmlEscape(std::string_view s);
+
+}  // namespace nagano::pagegen

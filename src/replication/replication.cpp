@@ -1,0 +1,153 @@
+#include "replication/replication.h"
+
+#include <cassert>
+
+namespace nagano::replication {
+
+ReplicationTopology::ReplicationTopology(const Clock* clock)
+    : clock_(clock ? clock : &RealClock::Instance()) {}
+
+Status ReplicationTopology::AddNode(std::string name, db::Database* database) {
+  if (database == nullptr) {
+    return InvalidArgumentError("AddNode: null database");
+  }
+  auto [it, inserted] = nodes_.try_emplace(name);
+  if (!inserted) return AlreadyExistsError("AddNode: duplicate " + name);
+  it->second.name = name;
+  it->second.database = database;
+  return Status::Ok();
+}
+
+ReplicationTopology::Node* ReplicationTopology::FindNode(std::string_view name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const ReplicationTopology::Node* ReplicationTopology::FindNode(
+    std::string_view name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Status ReplicationTopology::SetFeed(std::string_view child,
+                                    std::string_view parent, TimeNs lag) {
+  Node* c = FindNode(child);
+  if (c == nullptr) return NotFoundError("SetFeed: no node " + std::string(child));
+  if (FindNode(parent) == nullptr) {
+    return NotFoundError("SetFeed: no node " + std::string(parent));
+  }
+  if (child == parent) return InvalidArgumentError("SetFeed: self-feed");
+  // Reject cycles: walk up from the proposed parent.
+  for (const Node* p = FindNode(parent); p != nullptr && !p->feed.empty();
+       p = FindNode(p->feed)) {
+    if (p->feed == child) return InvalidArgumentError("SetFeed: feed cycle");
+  }
+  c->feed = std::string(parent);
+  c->lag = lag;
+  return Status::Ok();
+}
+
+Status ReplicationTopology::SetFailoverFeed(std::string_view child,
+                                            std::string_view backup) {
+  Node* c = FindNode(child);
+  if (c == nullptr) {
+    return NotFoundError("SetFailoverFeed: no node " + std::string(child));
+  }
+  if (FindNode(backup) == nullptr) {
+    return NotFoundError("SetFailoverFeed: no node " + std::string(backup));
+  }
+  c->failover_feed = std::string(backup);
+  return Status::Ok();
+}
+
+Status ReplicationTopology::MarkDown(std::string_view name) {
+  Node* n = FindNode(name);
+  if (n == nullptr) return NotFoundError("MarkDown: no node " + std::string(name));
+  n->up = false;
+  return Status::Ok();
+}
+
+Status ReplicationTopology::MarkUp(std::string_view name) {
+  Node* n = FindNode(name);
+  if (n == nullptr) return NotFoundError("MarkUp: no node " + std::string(name));
+  n->up = true;
+  return Status::Ok();
+}
+
+size_t ReplicationTopology::PumpNode(Node& node) {
+  if (!node.up || node.feed.empty()) return 0;
+
+  Node* feed = FindNode(node.feed);
+  assert(feed != nullptr);
+  if (!feed->up) {
+    // The Tokyo-can-feed-Schaumburg recovery path: re-parent to the backup
+    // feed if one is configured and alive.
+    Node* backup = node.failover_feed.empty() ? nullptr
+                                              : FindNode(node.failover_feed);
+    if (backup == nullptr || !backup->up || backup == &node) return 0;
+    node.feed = node.failover_feed;
+    feed = backup;
+  }
+
+  const uint64_t local = node.database->LastSeqno();
+  const TimeNs now = clock_->Now();
+  size_t applied = 0;
+  for (const db::ChangeRecord& record :
+       feed->database->ChangesSince(local, 256)) {
+    if (record.committed_at + node.lag > now) break;  // not yet arrived
+    Status s = node.database->ApplyReplicated(record);
+    if (!s.ok()) break;  // gap (feed itself behind); retry next pump
+    apply_lag_.Add(ToMillis(now - record.committed_at));
+    ++node.records_applied;
+    ++applied;
+  }
+  return applied;
+}
+
+size_t ReplicationTopology::Pump() {
+  size_t applied = 0;
+  for (auto& [_, node] : nodes_) applied += PumpNode(node);
+  return applied;
+}
+
+size_t ReplicationTopology::PumpUntilQuiet(size_t max_rounds) {
+  size_t total = 0;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const size_t applied = Pump();
+    total += applied;
+    if (applied == 0) break;
+  }
+  return total;
+}
+
+bool ReplicationTopology::Converged() const {
+  for (const auto& [_, node] : nodes_) {
+    if (!node.up || node.feed.empty()) continue;
+    const Node* feed = FindNode(node.feed);
+    if (feed == nullptr || !feed->up) continue;
+    if (node.database->LastSeqno() < feed->database->LastSeqno()) return false;
+  }
+  return true;
+}
+
+std::vector<ReplicaStatus> ReplicationTopology::Statuses() const {
+  std::vector<ReplicaStatus> out;
+  out.reserve(nodes_.size());
+  for (const auto& [_, node] : nodes_) {
+    out.push_back(ReplicaStatus{node.name, node.feed,
+                                node.database->LastSeqno(), node.up,
+                                node.records_applied});
+  }
+  return out;
+}
+
+Result<ReplicaStatus> ReplicationTopology::StatusOf(std::string_view name) const {
+  const Node* node = FindNode(name);
+  if (node == nullptr) {
+    return NotFoundError("StatusOf: no node " + std::string(name));
+  }
+  return ReplicaStatus{node->name, node->feed, node->database->LastSeqno(),
+                       node->up, node->records_applied};
+}
+
+}  // namespace nagano::replication

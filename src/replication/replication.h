@@ -1,0 +1,95 @@
+// Database replication tree (paper §3, Figs. 4-5).
+//
+// "From the master database, data was replicated to the three SP2
+// complexes in Tokyo and the four complexes in Schaumburg. From Schaumburg
+// the data was again replicated to the three machines in Bethesda and the
+// three in Columbus. For reliability and recovery purposes, the Tokyo site
+// was also capable of replicating the database to Schaumburg."
+//
+// Model: each node owns a Database. A child pulls its feed's change log
+// (ChangesSince) and applies records whose commit time plus the link lag
+// has passed — a deterministic store-and-forward model under SimClock.
+// ApplyReplicated() enforces dense seqnos, so delivery is provably in-order
+// and exactly-once. A node whose feed is down stalls until the feed
+// recovers or the operator (or auto-failover) re-parents it to a backup
+// feed — the Tokyo -> Schaumburg recovery path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "db/database.h"
+
+namespace nagano::replication {
+
+struct ReplicaStatus {
+  std::string name;
+  std::string feed;          // empty for the master / detached nodes
+  uint64_t applied_seqno = 0;
+  bool up = true;
+  uint64_t records_applied = 0;
+};
+
+class ReplicationTopology {
+ public:
+  explicit ReplicationTopology(const Clock* clock);
+
+  // Registers a node. The database must already contain the schema (every
+  // replica starts from the same empty schema; the log replays content).
+  Status AddNode(std::string name, db::Database* database);
+
+  // child pulls from parent with the given one-way lag. Re-invoking
+  // re-parents the child (its next pull starts after its own last applied
+  // seqno, so no records are lost or duplicated).
+  Status SetFeed(std::string_view child, std::string_view parent, TimeNs lag);
+
+  // Automatic re-parent target if the child's feed goes down.
+  Status SetFailoverFeed(std::string_view child, std::string_view backup);
+
+  Status MarkDown(std::string_view name);
+  Status MarkUp(std::string_view name);
+
+  // Pulls every due record across the tree. Call repeatedly as simulated
+  // time advances. Returns the number of records applied this round.
+  size_t Pump();
+
+  // Pump until no node applies anything (with feeds up and lag elapsed,
+  // this reaches convergence).
+  size_t PumpUntilQuiet(size_t max_rounds = 1000);
+
+  // True when every up node has applied its feed's full log.
+  bool Converged() const;
+
+  std::vector<ReplicaStatus> Statuses() const;
+  Result<ReplicaStatus> StatusOf(std::string_view name) const;
+
+  // Replication lag observed at apply time (commit -> apply, simulated).
+  const Histogram& apply_lag() const { return apply_lag_; }
+
+ private:
+  struct Node {
+    std::string name;
+    db::Database* database = nullptr;
+    std::string feed;
+    std::string failover_feed;
+    TimeNs lag = 0;
+    bool up = true;
+    uint64_t records_applied = 0;
+  };
+
+  Node* FindNode(std::string_view name);
+  const Node* FindNode(std::string_view name) const;
+  size_t PumpNode(Node& node);
+
+  const Clock* clock_;
+  std::map<std::string, Node, std::less<>> nodes_;
+  Histogram apply_lag_;
+};
+
+}  // namespace nagano::replication

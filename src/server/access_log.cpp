@@ -1,0 +1,131 @@
+#include "server/access_log.h"
+
+#include <algorithm>
+
+namespace nagano::server {
+
+void AccessLog::Append(TimeNs at, std::string_view page, ServeClass cls,
+                       size_t bytes, TimeNs response_time, uint16_t region) {
+  AccessRecord record;
+  record.at = at;
+  record.page_id = pages_.Intern(page);
+  record.region = region;
+  record.cls = cls;
+  record.bytes = static_cast<uint32_t>(std::min<size_t>(bytes, UINT32_MAX));
+  record.response_us = static_cast<uint32_t>(
+      std::min<TimeNs>(response_time / kMicrosecond, UINT32_MAX));
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+}
+
+size_t AccessLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<AccessRecord> AccessLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string_view AccessLog::PageName(uint32_t page_id) const {
+  return pages_.Name(page_id);
+}
+
+void AccessLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+LogAnalyzer::LogAnalyzer(const AccessLog& log, TimeNs epoch)
+    : log_(log), epoch_(epoch), records_(log.Snapshot()) {}
+
+uint64_t LogAnalyzer::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : records_) total += r.bytes;
+  return total;
+}
+
+TimeSeries LogAnalyzer::HitsByDay(int days) const {
+  TimeSeries series(static_cast<size_t>(days));
+  for (const auto& r : records_) {
+    if (r.at < epoch_) continue;  // pre-epoch records are out of scope
+    series.Add(static_cast<size_t>((r.at - epoch_) / kDay));
+  }
+  return series;
+}
+
+TimeSeries LogAnalyzer::HitsByHour() const {
+  TimeSeries series(24);
+  for (const auto& r : records_) {
+    if (r.at < epoch_) continue;
+    series.Add(static_cast<size_t>(((r.at - epoch_) / kHour) % 24));
+  }
+  return series;
+}
+
+TimeSeries LogAnalyzer::BytesByDay(int days) const {
+  TimeSeries series(static_cast<size_t>(days));
+  for (const auto& r : records_) {
+    if (r.at < epoch_) continue;
+    series.Add(static_cast<size_t>((r.at - epoch_) / kDay), r.bytes);
+  }
+  return series;
+}
+
+std::pair<int64_t, uint64_t> LogAnalyzer::PeakMinute() const {
+  std::map<int64_t, uint64_t> minutes;
+  for (const auto& r : records_) {
+    if (r.at < epoch_) continue;
+    ++minutes[(r.at - epoch_) / kMinute];
+  }
+  std::pair<int64_t, uint64_t> best{-1, 0};
+  for (const auto& [minute, hits] : minutes) {
+    if (hits > best.second) best = {minute, hits};
+  }
+  return best;
+}
+
+std::map<ServeClass, uint64_t> LogAnalyzer::ByServeClass() const {
+  std::map<ServeClass, uint64_t> counts;
+  for (const auto& r : records_) ++counts[r.cls];
+  return counts;
+}
+
+double LogAnalyzer::DynamicHitRate() const {
+  uint64_t hits = 0, misses = 0;
+  for (const auto& r : records_) {
+    if (r.cls == ServeClass::kCacheHit) ++hits;
+    if (r.cls == ServeClass::kCacheMissGenerated) ++misses;
+  }
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::vector<std::pair<std::string, uint64_t>> LogAnalyzer::TopPages(
+    size_t n) const {
+  std::map<uint32_t, uint64_t> counts;
+  for (const auto& r : records_) ++counts[r.page_id];
+  std::vector<std::pair<std::string, uint64_t>> pages;
+  pages.reserve(counts.size());
+  for (const auto& [page_id, hits] : counts) {
+    pages.emplace_back(std::string(log_.PageName(page_id)), hits);
+  }
+  std::sort(pages.begin(), pages.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (pages.size() > n) pages.resize(n);
+  return pages;
+}
+
+Histogram LogAnalyzer::ResponseSeconds(int region) const {
+  Histogram histogram;
+  for (const auto& r : records_) {
+    if (region >= 0 && r.region != region) continue;
+    histogram.Add(static_cast<double>(r.response_us) / 1e6);
+  }
+  return histogram;
+}
+
+}  // namespace nagano::server

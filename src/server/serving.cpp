@@ -1,0 +1,150 @@
+#include "server/serving.h"
+
+#include <cassert>
+
+#include "server/access_log.h"
+
+namespace nagano::server {
+
+DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
+                                     pagegen::PageRenderer* renderer,
+                                     Options options)
+    : cache_(cache), renderer_(renderer), options_(std::move(options)) {
+  assert(cache_ && renderer_);
+}
+
+void DynamicPageServer::AddStaticPage(std::string path, std::string body) {
+  std::lock_guard<std::mutex> lock(static_mutex_);
+  static_pages_[std::move(path)] = std::move(body);
+}
+
+bool DynamicPageServer::ShouldCache(std::string_view path) const {
+  for (const auto& prefix : options_.never_cache_prefixes) {
+    if (path.starts_with(prefix)) return false;
+  }
+  return true;
+}
+
+void DynamicPageServer::SetAccessLog(AccessLog* log, const Clock* clock) {
+  access_log_ = log;
+  log_clock_ = clock ? clock : &RealClock::Instance();
+}
+
+ServeOutcome DynamicPageServer::Serve(std::string_view path,
+                                      bool include_body) {
+  ServeOutcome out = ServeInternal(path, include_body);
+  if (access_log_ != nullptr) {
+    access_log_->Append(log_clock_->Now(), path, out.cls, out.bytes,
+                        out.cpu_cost);
+  }
+  return out;
+}
+
+ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
+                                              bool include_body) {
+  ServeOutcome out;
+
+  // 1. Static file system.
+  {
+    std::lock_guard<std::mutex> lock(static_mutex_);
+    auto it = static_pages_.find(path);
+    if (it != static_pages_.end()) {
+      static_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.cls = ServeClass::kStatic;
+      out.cpu_cost = options_.costs.static_page;
+      out.bytes = it->second.size();
+      if (include_body) out.body = it->second;
+      return out;
+    }
+  }
+
+  // 2. Dynamic page cache.
+  if (ShouldCache(path)) {
+    if (auto cached = cache_->Lookup(path)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.cls = ServeClass::kCacheHit;
+      out.cpu_cost = options_.costs.cached_dynamic;
+      out.bytes = cached->body.size();
+      if (include_body) out.body = cached->body;
+      return out;
+    }
+  }
+
+  // 3. Generate (and usually cache) the page.
+  if (renderer_->CanGenerate(path)) {
+    auto body = ShouldCache(path) ? renderer_->RenderAndCache(path)
+                                  : renderer_->RenderOnly(path);
+    if (body.ok()) {
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      out.cls = ServeClass::kCacheMissGenerated;
+      out.cpu_cost = options_.costs.generate_dynamic;
+      out.bytes = body.value().size();
+      if (include_body) out.body = std::move(body).value();
+      return out;
+    }
+    if (body.status().code() != ErrorCode::kNotFound) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      out.cls = ServeClass::kError;
+      out.cpu_cost = options_.costs.not_found;
+      return out;
+    }
+  }
+
+  not_found_.fetch_add(1, std::memory_order_relaxed);
+  out.cls = ServeClass::kNotFound;
+  out.cpu_cost = options_.costs.not_found;
+  return out;
+}
+
+ServeStats DynamicPageServer::stats() const {
+  ServeStats s;
+  s.static_hits = static_hits_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.not_found = not_found_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+HttpFrontEnd::HttpFrontEnd(DynamicPageServer* program,
+                           http::HttpServer::Options options)
+    : program_(program),
+      server_(std::make_unique<http::HttpServer>(
+          [this](const http::HttpRequest& request) { return Handle(request); },
+          std::move(options))) {
+  assert(program_);
+}
+
+Status HttpFrontEnd::Start() { return server_->Start(); }
+void HttpFrontEnd::Stop() { server_->Stop(); }
+
+http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    http::HttpResponse r;
+    r.status = 405;
+    r.reason = "Method Not Allowed";
+    return r;
+  }
+  ServeOutcome outcome = program_->Serve(request.Path(), /*include_body=*/true);
+  switch (outcome.cls) {
+    case ServeClass::kStatic:
+    case ServeClass::kCacheHit:
+    case ServeClass::kCacheMissGenerated: {
+      auto r = http::HttpResponse::Ok(request.method == "HEAD"
+                                          ? std::string()
+                                          : std::move(outcome.body));
+      r.headers["X-Cache"] =
+          outcome.cls == ServeClass::kCacheHit ? "HIT"
+          : outcome.cls == ServeClass::kStatic ? "STATIC"
+                                               : "MISS";
+      return r;
+    }
+    case ServeClass::kNotFound:
+      return http::HttpResponse::NotFound();
+    case ServeClass::kError:
+      return http::HttpResponse::ServerError();
+  }
+  return http::HttpResponse::ServerError("unreachable");
+}
+
+}  // namespace nagano::server

@@ -1,0 +1,142 @@
+// The dynamic-page serving path (paper §2, Fig. 6).
+//
+// "When a request for a dynamic page is received, the server program
+// invoked to satisfy the request first determines if the page is cached.
+// If so, the cached page is returned. Otherwise, the program must generate
+// the page in order to satisfy the request [and] decide whether or not to
+// cache the newly generated page."
+//
+// DynamicPageServer is that server program, invoked through an in-process
+// FastCGI-like interface rather than CGI (the paper rejects CGI for its
+// per-request process overhead). It is transport-independent: HttpFrontEnd
+// adapts it to the real epoll HTTP server, and the cluster simulator calls
+// Serve() directly with simulated time.
+//
+// Cost model (paper §2): a static page costs 2-10 ms of CPU; an uncached
+// dynamic page "several orders of magnitude more"; a cached dynamic page is
+// served "at roughly the same rate as static pages". Serve() reports the
+// modeled CPU cost of each request so the simulator can charge it to a
+// node, and the THRU bench measures the real cost too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "cache/object_cache.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "http/message.h"
+#include "http/server.h"
+#include "pagegen/renderer.h"
+
+namespace nagano::server {
+
+struct CostModel {
+  TimeNs static_page = FromMillis(5);          // 2-10 ms in the paper
+  TimeNs cached_dynamic = FromMillis(5);       // ≈ static
+  TimeNs generate_dynamic = FromMillis(500);   // ~2 orders of magnitude more
+  TimeNs not_found = FromMillis(1);
+};
+
+enum class ServeClass : uint8_t {
+  kStatic,
+  kCacheHit,
+  kCacheMissGenerated,
+  kNotFound,
+  kError,
+};
+
+struct ServeOutcome {
+  ServeClass cls = ServeClass::kNotFound;
+  TimeNs cpu_cost = 0;    // modeled CPU charge
+  size_t bytes = 0;       // response body size
+  std::string body;       // filled only when include_body was requested
+};
+
+struct ServeStats {
+  uint64_t static_hits = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+
+  uint64_t total() const {
+    return static_hits + cache_hits + cache_misses + not_found + errors;
+  }
+  double CacheHitRate() const {
+    const uint64_t dynamic = cache_hits + cache_misses;
+    return dynamic == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(dynamic);
+  }
+};
+
+class DynamicPageServer {
+ public:
+  struct Options {
+    CostModel costs;
+    // Pages the program declines to cache (per-request personalization in a
+    // real deployment). Prefix match; empty = cache everything.
+    std::vector<std::string> never_cache_prefixes;
+  };
+
+  DynamicPageServer(cache::ObjectCache* cache, pagegen::PageRenderer* renderer)
+      : DynamicPageServer(cache, renderer, Options()) {}
+  DynamicPageServer(cache::ObjectCache* cache, pagegen::PageRenderer* renderer,
+                    Options options);
+
+  // Registers an in-memory static file (the paper's file-system pages).
+  void AddStaticPage(std::string path, std::string body);
+
+  // Attaches an access log (see access_log.h); every Serve() appends one
+  // record stamped with `clock`. Pass nullptr to detach. Not owned.
+  void SetAccessLog(class AccessLog* log, const Clock* clock = nullptr);
+
+  // Serves one page. `include_body` false lets the simulator skip the body
+  // copy on its hot path.
+  ServeOutcome Serve(std::string_view path, bool include_body = true);
+
+  ServeStats stats() const;
+  const CostModel& costs() const { return options_.costs; }
+
+ private:
+  ServeOutcome ServeInternal(std::string_view path, bool include_body);
+  bool ShouldCache(std::string_view path) const;
+
+  cache::ObjectCache* cache_;
+  pagegen::PageRenderer* renderer_;
+  Options options_;
+  class AccessLog* access_log_ = nullptr;
+  const Clock* log_clock_ = nullptr;
+
+  std::mutex static_mutex_;
+  std::map<std::string, std::string, std::less<>> static_pages_;
+
+  std::atomic<uint64_t> static_hits_{0}, cache_hits_{0}, cache_misses_{0},
+      not_found_{0}, errors_{0};
+};
+
+// Adapts a DynamicPageServer to the epoll HTTP server.
+class HttpFrontEnd {
+ public:
+  HttpFrontEnd(DynamicPageServer* program, http::HttpServer::Options options);
+
+  Status Start();
+  void Stop();
+  uint16_t port() const { return server_->port(); }
+  http::ServerStats http_stats() const { return server_->stats(); }
+
+ private:
+  http::HttpResponse Handle(const http::HttpRequest& request);
+
+  DynamicPageServer* program_;
+  std::unique_ptr<http::HttpServer> server_;
+};
+
+}  // namespace nagano::server

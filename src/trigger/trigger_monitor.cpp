@@ -1,0 +1,246 @@
+#include "trigger/trigger_monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace nagano::trigger {
+
+std::string_view CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kDupUpdateInPlace: return "dup-update-in-place";
+    case CachePolicy::kDupInvalidate: return "dup-invalidate";
+    case CachePolicy::kConservative1996: return "conservative-1996";
+    case CachePolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+std::map<std::string, std::vector<std::string>> OlympicConservativePrefixes() {
+  // The 1996 site could not tell which pages a scoring change affected, so
+  // it invalidated whole page families. Any results/medal/event change
+  // clears every page that *might* show results; news clears the news
+  // family and the home pages.
+  const std::vector<std::string> results_family = {
+      "/day/", "/event/", "/sport/", "/athlete/", "/country/",
+      "/medals", "frag:"};
+  return {
+      {"results", results_family},
+      {"events", results_family},
+      {"medals", results_family},
+      {"countries", results_family},
+      {"athletes", {"/athlete/", "/country/", "/event/"}},
+      {"news", {"/news", "/day/", "/country/", "frag:news:latest"}},
+  };
+}
+
+TriggerMonitor::TriggerMonitor(db::Database* db,
+                               odg::ObjectDependenceGraph* graph,
+                               cache::ObjectCache* cache,
+                               pagegen::PageRenderer* renderer,
+                               ChangeMapper mapper, TriggerOptions options,
+                               const Clock* clock)
+    : db_(db),
+      graph_(graph),
+      cache_(cache),
+      renderer_(renderer),
+      mapper_(std::move(mapper)),
+      options_(std::move(options)),
+      clock_(clock ? clock : &RealClock::Instance()) {
+  assert(db_ && graph_ && cache_ && renderer_ && mapper_);
+  if (options_.worker_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+TriggerMonitor::~TriggerMonitor() { Stop(); }
+
+void TriggerMonitor::Start() {
+  if (running_.exchange(true)) return;
+  subscription_ = db_->Subscribe([this](const db::ChangeRecord& change) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++enqueued_;
+    }
+    queue_.Push(change);
+  });
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void TriggerMonitor::Stop() {
+  if (!running_.exchange(false)) return;
+  db_->Unsubscribe(subscription_);
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (pool_) pool_->Shutdown();
+}
+
+void TriggerMonitor::Quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  quiesce_cv_.wait(lock, [&] { return processed_ == enqueued_; });
+}
+
+void TriggerMonitor::DispatchLoop() {
+  for (;;) {
+    auto first = queue_.Pop();
+    if (!first) return;  // closed and drained
+    std::vector<db::ChangeRecord> batch;
+    batch.push_back(std::move(*first));
+    while (batch.size() < options_.batch_max) {
+      auto next = queue_.TryPop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
+    ProcessBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      processed_ += batch.size();
+      ++stats_.batches;
+      stats_.changes_processed += batch.size();
+    }
+    quiesce_cv_.notify_all();
+  }
+}
+
+void TriggerMonitor::ProcessBatch(const std::vector<db::ChangeRecord>& batch) {
+  if (options_.policy == CachePolicy::kNone) return;
+  if (options_.policy == CachePolicy::kConservative1996) {
+    ApplyConservative(batch);
+    return;
+  }
+
+  // Map changes to underlying-data vertices. Unknown vertices (nothing
+  // cached ever depended on them) simply have no out-edges.
+  std::vector<odg::NodeId> changed;
+  for (const auto& change : batch) {
+    for (const std::string& node : mapper_(change)) {
+      const odg::NodeId id =
+          graph_->EnsureNode(node, odg::NodeKind::kUnderlyingData);
+      changed.push_back(id);
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+
+  odg::DupOptions dup_options;
+  dup_options.obsolescence_threshold = options_.obsolescence_threshold;
+  dup_options.enable_simple_fast_path = options_.enable_simple_fast_path;
+  const odg::DupResult dup =
+      odg::DupEngine::ComputeAffected(*graph_, changed, dup_options);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.dup_runs;
+    stats_.fanout.Add(static_cast<double>(dup.affected.size()));
+  }
+
+  if (options_.policy == CachePolicy::kDupUpdateInPlace) {
+    ApplyUpdateInPlace(dup);
+  } else {
+    ApplyInvalidate(dup);
+  }
+
+  // Batch latency: oldest commit in the batch -> now.
+  TimeNs oldest = batch.front().committed_at;
+  for (const auto& c : batch) oldest = std::min(oldest, c.committed_at);
+  const double latency_ms = ToMillis(clock_->Now() - oldest);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.update_latency_ms.Add(std::max(0.0, latency_ms));
+}
+
+void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
+  // dup.affected is in dependency order: fragments precede the pages that
+  // embed them, so a page regenerated later picks up the fresh fragment.
+  enum class Outcome { kUpdated, kSkipped, kFailed };
+  std::atomic<uint64_t> updated{0}, failures{0};
+
+  auto regenerate = [&](const odg::AffectedObject& obj) -> Outcome {
+    const std::string name(graph_->name(obj.id));
+    // Only refresh objects that are actually cached somewhere; uncached
+    // pages will be generated (with fresh data) on their next request.
+    const bool in_fleet =
+        options_.fleet != nullptr && options_.fleet->ContainsAnywhere(name);
+    if (!cache_->Contains(name) && !in_fleet) return Outcome::kSkipped;
+    auto body = renderer_->RenderAndCache(name);
+    if (!body.ok()) return Outcome::kFailed;
+    // Fig. 6 distribution: push the fresh copy to every serving node.
+    if (options_.fleet != nullptr) {
+      options_.fleet->PutAll(name, body.value());
+    }
+    return Outcome::kUpdated;
+  };
+  auto tally = [&](Outcome outcome) {
+    if (outcome == Outcome::kUpdated) {
+      updated.fetch_add(1, std::memory_order_relaxed);
+    } else if (outcome == Outcome::kFailed) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (pool_ == nullptr) {
+    for (const auto& obj : dup.affected) tally(regenerate(obj));
+  } else {
+    // Fragments (kBoth) sequentially in dependency order, then leaf
+    // objects on the pool. Leaves never feed other objects, so they are
+    // independent of one another.
+    std::vector<const odg::AffectedObject*> leaves;
+    for (const auto& obj : dup.affected) {
+      if (graph_->kind(obj.id) == odg::NodeKind::kBoth) {
+        tally(regenerate(obj));
+      } else {
+        leaves.push_back(&obj);
+      }
+    }
+    for (const auto* obj : leaves) {
+      pool_->Submit([&, obj] { tally(regenerate(*obj)); });
+    }
+    pool_->Wait();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.objects_updated += updated.load();
+  stats_.render_failures += failures.load();
+}
+
+void TriggerMonitor::ApplyInvalidate(const odg::DupResult& dup) {
+  uint64_t invalidated = 0;
+  for (const auto& obj : dup.affected) {
+    const std::string name(graph_->name(obj.id));
+    if (cache_->Invalidate(name)) ++invalidated;
+    if (options_.fleet != nullptr) options_.fleet->InvalidateAll(name);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.objects_invalidated += invalidated;
+}
+
+void TriggerMonitor::ApplyConservative(
+    const std::vector<db::ChangeRecord>& batch) {
+  uint64_t invalidated = 0;
+  std::vector<std::string> prefixes;
+  for (const auto& change : batch) {
+    if (options_.conservative_prefixes.empty()) {
+      prefixes.push_back("");  // invalidate everything
+      break;
+    }
+    auto it = options_.conservative_prefixes.find(change.table);
+    if (it == options_.conservative_prefixes.end()) continue;
+    for (const auto& p : it->second) prefixes.push_back(p);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+  for (const auto& p : prefixes) {
+    invalidated += cache_->InvalidatePrefix(p);
+    if (options_.fleet != nullptr) options_.fleet->InvalidatePrefixAll(p);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.objects_invalidated += invalidated;
+  stats_.fanout.Add(static_cast<double>(invalidated));
+}
+
+TriggerStats TriggerMonitor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nagano::trigger

@@ -1,0 +1,153 @@
+// The trigger monitor (paper §2, Fig. 6).
+//
+// "A component known as the trigger monitor is responsible for monitoring
+// databases and notifying the cache when changes to the databases occur."
+//
+// This implementation subscribes to the database change log, coalesces
+// committed changes into batches, maps each change to the underlying-data
+// ODG vertices it touched (via a pluggable ChangeMapper — the Olympic
+// mapper lives in pagegen/olympic.h), runs DUP to find the affected cached
+// objects, and applies a consistency policy:
+//
+//   kDupUpdateInPlace  — 1998 Nagano: regenerate each affected object and
+//                        store it back, so hot pages never miss;
+//   kDupInvalidate     — precise invalidation: drop exactly the affected set;
+//   kConservative1996  — 1996 Atlanta baseline: invalidate configured page
+//                        prefixes per changed table (a large superset);
+//   kNone              — no maintenance (staleness baseline).
+//
+// All regeneration happens on the monitor's own threads — the paper ran
+// updates "on different processors from the ones serving pages" so update
+// bursts would not hurt response times.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/fleet.h"
+#include "cache/object_cache.h"
+#include "common/clock.h"
+#include "common/queue.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "db/database.h"
+#include "odg/dup.h"
+#include "odg/graph.h"
+#include "pagegen/renderer.h"
+
+namespace nagano::trigger {
+
+enum class CachePolicy {
+  kDupUpdateInPlace,
+  kDupInvalidate,
+  kConservative1996,
+  kNone,
+};
+
+std::string_view CachePolicyName(CachePolicy policy);
+
+struct TriggerOptions {
+  CachePolicy policy = CachePolicy::kDupUpdateInPlace;
+
+  // Render workers for the update-in-place policy. 1 = fully sequential.
+  // With more, fragments (kBoth vertices) still regenerate sequentially in
+  // dependency order; leaf objects then regenerate in parallel.
+  size_t worker_threads = 1;
+
+  // Coalesce up to this many queued change records into one DUP run.
+  size_t batch_max = 64;
+
+  // Passed through to the DUP engine.
+  double obsolescence_threshold = 0.0;
+  bool enable_simple_fast_path = true;
+
+  // kConservative1996: table name -> cache-key prefixes to bulk-invalidate
+  // when any row of that table changes. Empty map = invalidate everything.
+  std::map<std::string, std::vector<std::string>> conservative_prefixes;
+
+  // Optional per-node serving caches (Fig. 6: the trigger monitor
+  // "distributed updated pages to each of the eight UP's"). When set,
+  // update-in-place pushes each regenerated body to every fleet node and
+  // invalidations propagate fleet-wide. Not owned.
+  cache::CacheFleet* fleet = nullptr;
+};
+
+// Default 1996-style mapping for the Olympic site: any scoring change blows
+// away every results-bearing page family.
+std::map<std::string, std::vector<std::string>> OlympicConservativePrefixes();
+
+struct TriggerStats {
+  uint64_t changes_processed = 0;
+  uint64_t batches = 0;
+  uint64_t dup_runs = 0;
+  uint64_t objects_updated = 0;      // update-in-place count
+  uint64_t objects_invalidated = 0;
+  uint64_t render_failures = 0;
+  Histogram update_latency_ms;       // commit -> cache consistent, per batch
+  Histogram fanout;                  // affected objects per batch
+};
+
+class TriggerMonitor {
+ public:
+  // Names the underlying-data vertices a change touched.
+  using ChangeMapper =
+      std::function<std::vector<std::string>(const db::ChangeRecord&)>;
+
+  TriggerMonitor(db::Database* db, odg::ObjectDependenceGraph* graph,
+                 cache::ObjectCache* cache, pagegen::PageRenderer* renderer,
+                 ChangeMapper mapper, TriggerOptions options = {},
+                 const Clock* clock = nullptr);
+  ~TriggerMonitor();
+
+  TriggerMonitor(const TriggerMonitor&) = delete;
+  TriggerMonitor& operator=(const TriggerMonitor&) = delete;
+
+  // Subscribes to the database and starts the dispatcher thread.
+  void Start();
+
+  // Unsubscribes, drains the queue, joins threads. Idempotent.
+  void Stop();
+
+  // Blocks until every change committed before the call has been fully
+  // processed (its cache effects applied). The consistency property tests
+  // are phrased against this barrier.
+  void Quiesce();
+
+  TriggerStats stats() const;
+
+ private:
+  void DispatchLoop();
+  void ProcessBatch(const std::vector<db::ChangeRecord>& batch);
+  void ApplyUpdateInPlace(const odg::DupResult& dup);
+  void ApplyInvalidate(const odg::DupResult& dup);
+  void ApplyConservative(const std::vector<db::ChangeRecord>& batch);
+
+  db::Database* db_;
+  odg::ObjectDependenceGraph* graph_;
+  cache::ObjectCache* cache_;
+  pagegen::PageRenderer* renderer_;
+  ChangeMapper mapper_;
+  TriggerOptions options_;
+  const Clock* clock_;
+
+  BlockingQueue<db::ChangeRecord> queue_;
+  std::unique_ptr<ThreadPool> pool_;  // only when worker_threads > 1
+  std::thread dispatcher_;
+  uint64_t subscription_ = 0;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mutex_;  // guards stats_ and the quiesce counters
+  std::condition_variable quiesce_cv_;
+  uint64_t enqueued_ = 0;
+  uint64_t processed_ = 0;
+  TriggerStats stats_;
+};
+
+}  // namespace nagano::trigger

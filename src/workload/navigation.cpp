@@ -1,0 +1,196 @@
+#include "workload/navigation.h"
+
+#include <cassert>
+
+#include "pagegen/olympic.h"
+
+namespace nagano::workload {
+namespace {
+
+using pagegen::OlympicSite;
+
+}  // namespace
+
+NavigationModel::NavigationModel(const PageSampler* sampler, GoalMix mix)
+    : sampler_(sampler), mix_(mix) {
+  assert(sampler_ != nullptr);
+}
+
+Goal NavigationModel::SampleGoal(Rng& rng) const {
+  const std::pair<double, Goal> table[] = {
+      {mix_.event_result, Goal::kEventResult},
+      {mix_.medal_standings, Goal::kMedalStandings},
+      {mix_.news_story, Goal::kNewsStory},
+      {mix_.athlete_info, Goal::kAthleteInfo},
+      {mix_.country_info, Goal::kCountryInfo},
+      {mix_.browse_today, Goal::kBrowseToday},
+  };
+  double total = 0.0;
+  for (const auto& [share, _] : table) total += share;
+  double u = rng.NextDouble() * total;
+  for (const auto& [share, goal] : table) {
+    u -= share;
+    if (u <= 0.0) return goal;
+  }
+  return Goal::kBrowseToday;
+}
+
+Session NavigationModel::SampleSession(SiteDesign design, Rng& rng) const {
+  Session session;
+  session.goal = SampleGoal(rng);
+  const int day = sampler_->current_day();
+  const std::string home = design == SiteDesign::k1998
+                               ? OlympicSite::DayHomePage(day)
+                               : "/";
+  session.requests.push_back(home);
+
+  // A concrete target page for the goal (used by both designs).
+  auto target_event = [&] {
+    // Re-sample until we get an event page; bounded retries.
+    for (int i = 0; i < 16; ++i) {
+      const std::string p = sampler_->Sample(rng);
+      if (p.starts_with("/event/")) return p;
+    }
+    return std::string("/event/1");
+  };
+
+  switch (design) {
+    case SiteDesign::k1996: {
+      // Strict hierarchy: every goal needs index pages before the leaf,
+      // and cross-section hops restart from an index (Fig. 7: no direct
+      // links between sections at the leaves).
+      switch (session.goal) {
+        case Goal::kEventResult:
+          session.requests.push_back("/sports-index");
+          session.requests.push_back(
+              "/sport/" + std::to_string(rng.NextInt(1, 7)));
+          session.requests.push_back(target_event());
+          break;
+        case Goal::kMedalStandings:
+          session.requests.push_back("/results-index");
+          session.requests.push_back(OlympicSite::kMedalsPage);
+          break;
+        case Goal::kNewsStory: {
+          // Articles carry no cross-links in the 1996 hierarchy; each
+          // additional story read means a round trip through the index.
+          const int stories = static_cast<int>(rng.NextInt(1, 2));
+          for (int s = 0; s < stories; ++s) {
+            session.requests.push_back(OlympicSite::kNewsIndexPage);
+            session.requests.push_back(
+                OlympicSite::NewsPage(rng.NextInt(1, 20)));
+          }
+          break;
+        }
+        case Goal::kAthleteInfo: {
+          // 1996 had biographies but no collated results ("results
+          // corresponding to a particular country or athlete could not be
+          // collated"): after the bio, the user walks sport -> event pages
+          // hunting for each of the athlete's results.
+          session.requests.push_back("/athletes-index");
+          session.requests.push_back(
+              OlympicSite::AthletePage(rng.NextInt(1, 100)));
+          session.requests.push_back("/sports-index");
+          const int events_visited = static_cast<int>(rng.NextInt(1, 3));
+          for (int e = 0; e < events_visited; ++e) {
+            session.requests.push_back(target_event());
+          }
+          break;
+        }
+        case Goal::kCountryInfo: {
+          // Same collation gap for countries: medal table plus a hunt
+          // through event pages for the delegation's results.
+          session.requests.push_back("/countries-index");
+          session.requests.push_back(OlympicSite::CountryPage("JPN"));
+          session.requests.push_back("/results-index");
+          session.requests.push_back(OlympicSite::kMedalsPage);
+          const int events_visited = static_cast<int>(rng.NextInt(1, 2));
+          for (int e = 0; e < events_visited; ++e) {
+            session.requests.push_back(target_event());
+          }
+          break;
+        }
+        case Goal::kBrowseToday: {
+          // Browsing the day's action across sports: the hierarchy has no
+          // cross-links at the leaves (Fig. 10), so every event means a
+          // fresh descent through the sports index.
+          const int events_browsed = static_cast<int>(rng.NextInt(1, 3));
+          for (int e = 0; e < events_browsed; ++e) {
+            session.requests.push_back("/sports-index");
+            session.requests.push_back(
+                "/sport/" + std::to_string(rng.NextInt(1, 7)));
+            session.requests.push_back(target_event());
+          }
+          break;
+        }
+      }
+      break;
+    }
+    case SiteDesign::k1998: {
+      // The day-home page already shows recent results, medal standings,
+      // and latest news; >25% of sessions end there, and everything else
+      // is one direct link away.
+      switch (session.goal) {
+        case Goal::kEventResult:
+          if (rng.NextBool(0.35)) {  // result was on the home page
+            session.satisfied_on_home = true;
+          } else {
+            session.requests.push_back(target_event());
+          }
+          break;
+        case Goal::kMedalStandings:
+          if (rng.NextBool(0.80)) {  // standings fragment is on home
+            session.satisfied_on_home = true;
+          } else {
+            session.requests.push_back(OlympicSite::kMedalsPage);
+          }
+          break;
+        case Goal::kNewsStory:
+          if (rng.NextBool(0.30)) {
+            session.satisfied_on_home = true;
+          } else {
+            session.requests.push_back(
+                OlympicSite::NewsPage(rng.NextInt(1, 20)));
+          }
+          break;
+        case Goal::kAthleteInfo:
+          session.requests.push_back(
+              OlympicSite::AthletePage(rng.NextInt(1, 100)));
+          break;
+        case Goal::kCountryInfo:
+          session.requests.push_back(OlympicSite::CountryPage("JPN"));
+          break;
+        case Goal::kBrowseToday:
+          if (rng.NextBool(0.50)) {
+            session.satisfied_on_home = true;
+          } else {
+            session.requests.push_back(target_event());
+          }
+          break;
+      }
+      break;
+    }
+  }
+  return session;
+}
+
+double NavigationModel::MeanRequestsPerSession(SiteDesign design, Rng& rng,
+                                               int n) const {
+  assert(n > 0);
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += SampleSession(design, rng).requests.size();
+  }
+  return static_cast<double>(total) / n;
+}
+
+double NavigationModel::HomeSatisfactionRate(SiteDesign design, Rng& rng,
+                                             int n) const {
+  assert(n > 0);
+  int satisfied = 0;
+  for (int i = 0; i < n; ++i) {
+    if (SampleSession(design, rng).satisfied_on_home) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / n;
+}
+
+}  // namespace nagano::workload

@@ -1,0 +1,73 @@
+// Site-structure navigation model (paper §3.1, Figs. 7-12).
+//
+// 1996 design: a strict hierarchy — home -> section index -> sport ->
+// event — with "no direct links to pertinent information in other
+// sections"; at least three requests to reach a result page, and the
+// intermediate navigation pages were among the most requested.
+//
+// 1998 design: a per-day home page that front-loads results, medals and
+// news ("over 25% of the users found the information they were looking for
+// by examining the home page"), with direct links to every section. The
+// paper estimates the 1996 design plus the added country/athlete content
+// would have produced over 200M hits/day — more than 3x the observed peak.
+//
+// The model samples a user session with an information goal and returns
+// the page-request sequence each design requires to satisfy it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/sampler.h"
+
+namespace nagano::workload {
+
+enum class SiteDesign { k1996, k1998 };
+
+enum class Goal {
+  kEventResult,
+  kMedalStandings,
+  kNewsStory,
+  kAthleteInfo,
+  kCountryInfo,
+  kBrowseToday,
+};
+
+struct Session {
+  Goal goal;
+  std::vector<std::string> requests;  // page names fetched, in order
+  bool satisfied_on_home = false;     // goal met by the (day-)home page alone
+};
+
+struct GoalMix {
+  double event_result = 0.40;
+  double medal_standings = 0.15;
+  double news_story = 0.15;
+  double athlete_info = 0.12;
+  double country_info = 0.08;
+  double browse_today = 0.10;
+};
+
+class NavigationModel {
+ public:
+  NavigationModel(const PageSampler* sampler, GoalMix mix = {});
+
+  // Samples one session under the given design for the sampler's current
+  // day.
+  Session SampleSession(SiteDesign design, Rng& rng) const;
+
+  // Mean requests per session, estimated over n samples.
+  double MeanRequestsPerSession(SiteDesign design, Rng& rng, int n) const;
+
+  // Fraction of sessions satisfied by the home page alone.
+  double HomeSatisfactionRate(SiteDesign design, Rng& rng, int n) const;
+
+ private:
+  Goal SampleGoal(Rng& rng) const;
+
+  const PageSampler* sampler_;
+  GoalMix mix_;
+};
+
+}  // namespace nagano::workload

@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "db/database.h"
+
+namespace nagano::db {
+namespace {
+
+void CreateEventsTable(Database& db) {
+  ASSERT_TRUE(db.CreateTable("events",
+                             {{"event_id", ColumnType::kInt},
+                              {"name", ColumnType::kString},
+                              {"score", ColumnType::kDouble}})
+                  .ok());
+}
+
+TEST(DbTest, CreateTableDuplicateFails) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("t", {{"k", ColumnType::kInt}}).ok());
+  EXPECT_EQ(db.CreateTable("t", {{"k", ColumnType::kInt}}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(DbTest, CreateTableValidation) {
+  Database db;
+  EXPECT_EQ(db.CreateTable("t", {}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(db.CreateTable("t", {{"k", ColumnType::kInt}}, 5).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DbTest, HasTableAndNames) {
+  Database db;
+  EXPECT_FALSE(db.HasTable("x"));
+  ASSERT_TRUE(db.CreateTable("beta", {{"k", ColumnType::kInt}}).ok());
+  ASSERT_TRUE(db.CreateTable("alpha", {{"k", ColumnType::kInt}}).ok());
+  EXPECT_TRUE(db.HasTable("alpha"));
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(DbTest, ColumnIndex) {
+  Database db;
+  CreateEventsTable(db);
+  EXPECT_EQ(db.ColumnIndex("events", "name").value(), 1u);
+  EXPECT_EQ(db.ColumnIndex("events", "ghost").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(db.ColumnIndex("ghost", "name").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DbTest, UpsertAndGet) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(
+      db.Upsert("events", {Value(int64_t(1)), Value(std::string("Ski Jump")),
+                           Value(99.5)})
+          .ok());
+  auto row = db.Get("events", Value(int64_t(1)));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(std::get<std::string>(row.value()[1]), "Ski Jump");
+  EXPECT_DOUBLE_EQ(std::get<double>(row.value()[2]), 99.5);
+}
+
+TEST(DbTest, GetMissing) {
+  Database db;
+  CreateEventsTable(db);
+  EXPECT_EQ(db.Get("events", Value(int64_t(7))).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(db.Get("ghost", Value(int64_t(7))).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DbTest, UpsertArityAndTypeValidation) {
+  Database db;
+  CreateEventsTable(db);
+  EXPECT_EQ(db.Upsert("events", {Value(int64_t(1))}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(db.Upsert("events", {Value(std::string("oops")),
+                                 Value(std::string("x")), Value(1.0)})
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DbTest, UpsertOverwrites) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(1.0)})
+                  .ok());
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("b")), Value(2.0)})
+                  .ok());
+  EXPECT_EQ(db.RowCount("events"), 1u);
+  EXPECT_EQ(std::get<std::string>(db.Get("events", Value(int64_t(1))).value()[1]),
+            "b");
+}
+
+TEST(DbTest, DeleteRemovesRow) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(1.0)})
+                  .ok());
+  EXPECT_TRUE(db.Delete("events", Value(int64_t(1))).ok());
+  EXPECT_EQ(db.RowCount("events"), 0u);
+  EXPECT_EQ(db.Delete("events", Value(int64_t(1))).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DbTest, ScanWithPredicate) {
+  Database db;
+  CreateEventsTable(db);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(db.Upsert("events",
+                          {Value(int64_t(i)), Value(std::string("e")),
+                           Value(double(i))})
+                    .ok());
+  }
+  const auto rows = db.Scan("events", [](const Row& r) {
+    return std::get<double>(r[2]) > 7.0;
+  });
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(DbTest, ScanOrderIsKeyOrder) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"k", ColumnType::kString}}).ok());
+  for (const char* k : {"charlie", "alpha", "bravo"}) {
+    ASSERT_TRUE(db.Upsert("t", {Value(std::string(k))}).ok());
+  }
+  const auto rows = db.ScanAll("t");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(rows[0][0]), "alpha");
+  EXPECT_EQ(std::get<std::string>(rows[2][0]), "charlie");
+}
+
+TEST(DbTest, KeyStringEncodings) {
+  EXPECT_EQ(KeyString(Value(int64_t(42))), "42");
+  EXPECT_EQ(KeyString(Value(int64_t(-7))), "-7");
+  EXPECT_EQ(KeyString(Value(std::string("JPN"))), "JPN");
+  EXPECT_EQ(KeyString(Value(1.5)), "1.5");
+}
+
+TEST(DbTest, TypeMatches) {
+  EXPECT_TRUE(TypeMatches(Value(int64_t(1)), ColumnType::kInt));
+  EXPECT_FALSE(TypeMatches(Value(int64_t(1)), ColumnType::kDouble));
+  EXPECT_TRUE(TypeMatches(Value(1.0), ColumnType::kDouble));
+  EXPECT_TRUE(TypeMatches(Value(std::string("x")), ColumnType::kString));
+}
+
+// --- secondary indexes -----------------------------------------------------------
+
+TEST(DbIndexTest, CreateIndexValidation) {
+  Database db;
+  CreateEventsTable(db);
+  EXPECT_EQ(db.CreateIndex("ghost", "name").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(db.CreateIndex("events", "ghost").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(db.CreateIndex("events", "name").ok());
+  EXPECT_TRUE(db.CreateIndex("events", "name").ok());  // idempotent
+  EXPECT_TRUE(db.HasIndex("events", "name"));
+  EXPECT_FALSE(db.HasIndex("events", "score"));
+}
+
+TEST(DbIndexTest, IndexBuiltFromExistingRows) {
+  Database db;
+  CreateEventsTable(db);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(db.Upsert("events", {Value(int64_t(i)),
+                                     Value(std::string(i % 2 ? "odd" : "even")),
+                                     Value(0.0)})
+                    .ok());
+  }
+  ASSERT_TRUE(db.CreateIndex("events", "name").ok());
+  EXPECT_EQ(db.Lookup("events", "name", Value(std::string("odd"))).size(), 3u);
+  EXPECT_EQ(db.Lookup("events", "name", Value(std::string("even"))).size(), 3u);
+}
+
+TEST(DbIndexTest, IndexMaintainedAcrossMutations) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.CreateIndex("events", "name").ok());
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(2)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  EXPECT_EQ(db.Lookup("events", "name", Value(std::string("a"))).size(), 2u);
+
+  // Update row 1's name: it must move between index buckets.
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("b")), Value(0.0)})
+                  .ok());
+  EXPECT_EQ(db.Lookup("events", "name", Value(std::string("a"))).size(), 1u);
+  EXPECT_EQ(db.Lookup("events", "name", Value(std::string("b"))).size(), 1u);
+
+  ASSERT_TRUE(db.Delete("events", Value(int64_t(2))).ok());
+  EXPECT_TRUE(db.Lookup("events", "name", Value(std::string("a"))).empty());
+}
+
+TEST(DbIndexTest, LookupWithoutIndexFallsBackToScan) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("x")), Value(2.5)})
+                  .ok());
+  const auto rows = db.Lookup("events", "score", Value(2.5));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(rows[0][0]), 1);
+  EXPECT_TRUE(db.Lookup("events", "ghost", Value(1.0)).empty());
+}
+
+TEST(DbIndexTest, LookupMatchesScanUnderRandomOps) {
+  // Property: indexed Lookup agrees with a predicate Scan after arbitrary
+  // upsert/delete interleavings.
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.CreateIndex("events", "name").ok());
+  Rng rng(404);
+  for (int step = 0; step < 800; ++step) {
+    const int64_t key = static_cast<int64_t>(rng.NextBelow(30));
+    if (rng.NextBool(0.75)) {
+      ASSERT_TRUE(db.Upsert("events",
+                            {Value(key),
+                             Value("g" + std::to_string(rng.NextBelow(5))),
+                             Value(0.0)})
+                      .ok());
+    } else {
+      (void)db.Delete("events", Value(key));
+    }
+    const std::string group = "g" + std::to_string(rng.NextBelow(5));
+    const auto indexed = db.Lookup("events", "name", Value(group));
+    const auto scanned = db.Scan("events", [&](const Row& r) {
+      return std::get<std::string>(r[1]) == group;
+    });
+    ASSERT_EQ(indexed.size(), scanned.size()) << "step " << step;
+    for (size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(std::get<int64_t>(indexed[i][0]),
+                std::get<int64_t>(scanned[i][0]));
+    }
+  }
+}
+
+TEST(DbIndexTest, ReplicatedApplyMaintainsReplicaIndexes) {
+  Database master;
+  CreateEventsTable(master);
+  Database replica;
+  CreateEventsTable(replica);
+  ASSERT_TRUE(replica.CreateIndex("events", "name").ok());
+
+  ASSERT_TRUE(master.Upsert("events", {Value(int64_t(1)),
+                                       Value(std::string("a")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(master.Upsert("events", {Value(int64_t(1)),
+                                       Value(std::string("b")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(master.Delete("events", Value(int64_t(1))).ok());
+  for (const auto& change : master.ChangesSince(0)) {
+    ASSERT_TRUE(replica.ApplyReplicated(change).ok());
+  }
+  EXPECT_TRUE(replica.Lookup("events", "name", Value(std::string("a"))).empty());
+  EXPECT_TRUE(replica.Lookup("events", "name", Value(std::string("b"))).empty());
+}
+
+// --- change log ----------------------------------------------------------------
+
+TEST(DbChangeLogTest, SeqnosAreDense) {
+  Database db;
+  CreateEventsTable(db);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(db.Upsert("events", {Value(int64_t(i)),
+                                     Value(std::string("e")), Value(0.0)})
+                    .ok());
+  }
+  EXPECT_EQ(db.LastSeqno(), 5u);
+  const auto changes = db.ChangesSince(0);
+  ASSERT_EQ(changes.size(), 5u);
+  for (size_t i = 0; i < changes.size(); ++i) {
+    EXPECT_EQ(changes[i].seqno, i + 1);
+  }
+}
+
+TEST(DbChangeLogTest, ChangesSinceFiltersAndLimits) {
+  Database db;
+  CreateEventsTable(db);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(db.Upsert("events", {Value(int64_t(i)),
+                                     Value(std::string("e")), Value(0.0)})
+                    .ok());
+  }
+  EXPECT_EQ(db.ChangesSince(7).size(), 3u);
+  EXPECT_EQ(db.ChangesSince(7, 2).size(), 2u);
+  EXPECT_EQ(db.ChangesSince(10).size(), 0u);
+  EXPECT_EQ(db.ChangesSince(3)[0].seqno, 4u);
+}
+
+TEST(DbChangeLogTest, RecordsCarryRowImage) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(3)),
+                                   Value(std::string("Luge")), Value(55.0)})
+                  .ok());
+  const auto changes = db.ChangesSince(0);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].op, ChangeOp::kInsert);
+  EXPECT_EQ(changes[0].table, "events");
+  EXPECT_EQ(changes[0].key, "3");
+  ASSERT_EQ(changes[0].row.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(changes[0].row[1]), "Luge");
+}
+
+TEST(DbChangeLogTest, UpdateVsInsertOp) {
+  Database db;
+  CreateEventsTable(db);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("b")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(db.Delete("events", Value(int64_t(1))).ok());
+  const auto changes = db.ChangesSince(0);
+  ASSERT_EQ(changes.size(), 3u);
+  EXPECT_EQ(changes[0].op, ChangeOp::kInsert);
+  EXPECT_EQ(changes[1].op, ChangeOp::kUpdate);
+  EXPECT_EQ(changes[2].op, ChangeOp::kDelete);
+  EXPECT_TRUE(changes[2].row.empty());
+}
+
+TEST(DbChangeLogTest, CommitTimesUseClock) {
+  SimClock clock(10 * kSecond);
+  Database db(&clock);
+  ASSERT_TRUE(db.CreateTable("t", {{"k", ColumnType::kInt}}).ok());
+  ASSERT_TRUE(db.Upsert("t", {Value(int64_t(1))}).ok());
+  clock.Advance(5 * kSecond);
+  ASSERT_TRUE(db.Upsert("t", {Value(int64_t(2))}).ok());
+  const auto changes = db.ChangesSince(0);
+  EXPECT_EQ(changes[0].committed_at, 10 * kSecond);
+  EXPECT_EQ(changes[1].committed_at, 15 * kSecond);
+}
+
+// --- subscriptions -----------------------------------------------------------------
+
+TEST(DbSubscribeTest, ListenerFiresOnCommit) {
+  Database db;
+  CreateEventsTable(db);
+  std::vector<uint64_t> seen;
+  db.Subscribe([&](const ChangeRecord& c) { seen.push_back(c.seqno); });
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(db.Delete("events", Value(int64_t(1))).ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(DbSubscribeTest, UnsubscribeStopsDelivery) {
+  Database db;
+  CreateEventsTable(db);
+  int count = 0;
+  const uint64_t id = db.Subscribe([&](const ChangeRecord&) { ++count; });
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  db.Unsubscribe(id);
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(2)),
+                                   Value(std::string("b")), Value(0.0)})
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(DbSubscribeTest, ListenerMayReenterDatabase) {
+  // The trigger monitor re-renders pages (reads the DB) from inside the
+  // commit notification; the lock must not be held across the callback.
+  Database db;
+  CreateEventsTable(db);
+  size_t observed_rows = 0;
+  db.Subscribe([&](const ChangeRecord&) {
+    observed_rows = db.ScanAll("events").size();
+  });
+  ASSERT_TRUE(db.Upsert("events", {Value(int64_t(1)),
+                                   Value(std::string("a")), Value(0.0)})
+                  .ok());
+  EXPECT_EQ(observed_rows, 1u);
+}
+
+// --- replicated apply ---------------------------------------------------------------
+
+TEST(DbReplicateTest, MirrorsMasterSeqnos) {
+  Database master;
+  CreateEventsTable(master);
+  Database replica;
+  CreateEventsTable(replica);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(master
+                    .Upsert("events", {Value(int64_t(i)),
+                                       Value(std::string("e")), Value(0.0)})
+                    .ok());
+  }
+  for (const auto& change : master.ChangesSince(0)) {
+    ASSERT_TRUE(replica.ApplyReplicated(change).ok());
+  }
+  EXPECT_EQ(replica.LastSeqno(), master.LastSeqno());
+  EXPECT_EQ(replica.RowCount("events"), 4u);
+}
+
+TEST(DbReplicateTest, RejectsGaps) {
+  Database master;
+  CreateEventsTable(master);
+  Database replica;
+  CreateEventsTable(replica);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(master
+                    .Upsert("events", {Value(int64_t(i)),
+                                       Value(std::string("e")), Value(0.0)})
+                    .ok());
+  }
+  const auto changes = master.ChangesSince(0);
+  ASSERT_TRUE(replica.ApplyReplicated(changes[0]).ok());
+  // Skipping seqno 2 must be refused.
+  EXPECT_EQ(replica.ApplyReplicated(changes[2]).code(), ErrorCode::kDataLoss);
+  // Re-applying seqno 1 (duplicate) must also be refused.
+  EXPECT_EQ(replica.ApplyReplicated(changes[0]).code(), ErrorCode::kDataLoss);
+  ASSERT_TRUE(replica.ApplyReplicated(changes[1]).ok());
+  ASSERT_TRUE(replica.ApplyReplicated(changes[2]).ok());
+  EXPECT_EQ(replica.LastSeqno(), 3u);
+}
+
+TEST(DbReplicateTest, ReplicatedDeleteApplies) {
+  Database master;
+  CreateEventsTable(master);
+  Database replica;
+  CreateEventsTable(replica);
+  ASSERT_TRUE(master
+                  .Upsert("events", {Value(int64_t(1)),
+                                     Value(std::string("e")), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(master.Delete("events", Value(int64_t(1))).ok());
+  for (const auto& change : master.ChangesSince(0)) {
+    ASSERT_TRUE(replica.ApplyReplicated(change).ok());
+  }
+  EXPECT_EQ(replica.RowCount("events"), 0u);
+}
+
+}  // namespace
+}  // namespace nagano::db

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cache/fleet.h"
+#include "core/serving_site.h"
+#include "workload/feed.h"
+
+namespace nagano {
+namespace {
+
+using cache::CacheFleet;
+
+TEST(FleetTest, PutAllReachesEveryNode) {
+  CacheFleet fleet(8);
+  fleet.PutAll("/day/1", "body");
+  for (size_t n = 0; n < fleet.size(); ++n) {
+    const auto obj = fleet.node(n).Peek("/day/1");
+    ASSERT_NE(obj, nullptr) << n;
+    EXPECT_EQ(obj->body, "body");
+  }
+  EXPECT_TRUE(fleet.ContainsAnywhere("/day/1"));
+  EXPECT_FALSE(fleet.ContainsAnywhere("/ghost"));
+}
+
+TEST(FleetTest, InvalidateAllCountsHolders) {
+  CacheFleet fleet(4);
+  fleet.PutAll("/x", "1");
+  // Knock it out of one node manually; InvalidateAll reports the other 3.
+  fleet.node(2).Invalidate("/x");
+  EXPECT_EQ(fleet.InvalidateAll("/x"), 3u);
+  EXPECT_FALSE(fleet.ContainsAnywhere("/x"));
+}
+
+TEST(FleetTest, PrefixInvalidationFleetWide) {
+  CacheFleet fleet(3);
+  fleet.PutAll("/day/1", "a");
+  fleet.PutAll("/day/2", "b");
+  fleet.PutAll("/event/1", "c");
+  EXPECT_EQ(fleet.InvalidatePrefixAll("/day/"), 6u);  // 2 keys x 3 nodes
+  EXPECT_TRUE(fleet.ContainsAnywhere("/event/1"));
+}
+
+TEST(FleetTest, IdenticalInvariantTracksDivergence) {
+  CacheFleet fleet(3);
+  fleet.PutAll("/a", "1");
+  EXPECT_TRUE(fleet.AllNodesIdentical());
+  fleet.node(1).Put("/b", "extra");
+  EXPECT_FALSE(fleet.AllNodesIdentical());
+  fleet.node(1).Invalidate("/b");
+  EXPECT_TRUE(fleet.AllNodesIdentical());
+}
+
+TEST(FleetTest, TotalStatsAggregates) {
+  CacheFleet fleet(2);
+  fleet.PutAll("/a", "1");
+  (void)fleet.node(0).Lookup("/a");
+  (void)fleet.node(1).Lookup("/a");
+  (void)fleet.node(1).Lookup("/miss");
+  const auto stats = fleet.TotalStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --- fleet mode through the whole pipeline ------------------------------------
+
+core::SiteOptions FleetSite() {
+  core::SiteOptions options;
+  options.olympic.days = 3;
+  options.olympic.num_sports = 2;
+  options.olympic.events_per_sport = 3;
+  options.olympic.athletes_per_event = 5;
+  options.olympic.num_countries = 6;
+  options.serving_nodes = 8;  // the paper's eight UPs per SP2
+  options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+  return options;
+}
+
+TEST(FleetPipelineTest, PrefetchPopulatesEveryNode) {
+  auto site_or = core::ServingSite::Create(FleetSite());
+  ASSERT_TRUE(site_or.ok());
+  auto& site = *site_or.value();
+  const auto count = site.PrefetchAll();
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(site.serving_nodes(), 8u);
+  for (size_t n = 0; n < 8; ++n) {
+    EXPECT_EQ(site.fleet()->node(n).size(), count.value()) << n;
+  }
+  EXPECT_TRUE(site.fleet()->AllNodesIdentical());
+}
+
+TEST(FleetPipelineTest, UpdatesDistributedToAllNodes) {
+  auto site_or = core::ServingSite::Create(FleetSite());
+  ASSERT_TRUE(site_or.ok());
+  auto& site = *site_or.value();
+  ASSERT_TRUE(site.PrefetchAll().ok());
+  site.StartTrigger();
+
+  const auto before = site.fleet()->node(3).Peek("/event/1");
+  ASSERT_NE(before, nullptr);
+
+  ASSERT_TRUE(site.RecordResult(1, 1, 1, 99.0).ok());
+  site.Quiesce();
+
+  for (size_t n = 0; n < 8; ++n) {
+    const auto after = site.fleet()->node(n).Peek("/event/1");
+    ASSERT_NE(after, nullptr) << n;
+    EXPECT_NE(after->body, before->body) << n;
+    EXPECT_NE(after->body.find("99.00"), std::string::npos) << n;
+  }
+  EXPECT_TRUE(site.fleet()->AllNodesIdentical());
+  site.StopTrigger();
+}
+
+TEST(FleetPipelineTest, EveryNodeServesHitsAfterUpdates) {
+  auto site_or = core::ServingSite::Create(FleetSite());
+  ASSERT_TRUE(site_or.ok());
+  auto& site = *site_or.value();
+  ASSERT_TRUE(site.PrefetchAll().ok());
+  site.StartTrigger();
+
+  workload::ResultFeed feed(&site.db(), workload::FeedOptions{}, 9);
+  ASSERT_TRUE(feed.RunDay(1).ok());
+  site.Quiesce();
+  site.StopTrigger();
+
+  // Round-robin requests over the nodes: every prefetched page hits; only
+  // articles the feed published after prefetch (ids >= 1000) may miss on
+  // first touch.
+  const auto pages =
+      pagegen::OlympicSite::AllPageNames(site.olympic_config(), site.db());
+  size_t i = 0;
+  uint64_t first_touch_misses = 0;
+  for (const auto& page : pages) {
+    const auto out = site.ServeFromNode(i++ % 8, page);
+    // Feed-published articles get ids >= 1000 (ResultFeed numbering).
+    const size_t slash = page.rfind('/');
+    const bool new_article =
+        page.find("/news/") != std::string::npos &&
+        std::atoll(page.c_str() + slash + 1) >= 1000;
+    if (out.cls != server::ServeClass::kCacheHit) {
+      EXPECT_TRUE(new_article) << page;
+      ++first_touch_misses;
+    }
+  }
+  EXPECT_EQ(site.fleet()->TotalStats().misses, first_touch_misses);
+}
+
+TEST(FleetPipelineTest, InvalidatePolicyClearsAllNodes) {
+  auto options = FleetSite();
+  options.trigger.policy = trigger::CachePolicy::kDupInvalidate;
+  auto site_or = core::ServingSite::Create(std::move(options));
+  ASSERT_TRUE(site_or.ok());
+  auto& site = *site_or.value();
+  ASSERT_TRUE(site.PrefetchAll().ok());
+  site.StartTrigger();
+  ASSERT_TRUE(site.RecordResult(1, 1, 1, 99.0).ok());
+  site.Quiesce();
+  site.StopTrigger();
+  EXPECT_FALSE(site.fleet()->ContainsAnywhere("/event/1"));
+  EXPECT_FALSE(site.fleet()->ContainsAnywhere("/ja/event/1"));
+  EXPECT_TRUE(site.fleet()->ContainsAnywhere("/event/4"));  // other sport
+}
+
+}  // namespace
+}  // namespace nagano

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/client.h"
+#include "http/message.h"
+#include "http/server.h"
+
+namespace nagano::http {
+namespace {
+
+// --- message model -------------------------------------------------------------
+
+TEST(HttpMessageTest, RequestPathStripsQuery) {
+  HttpRequest req;
+  req.target = "/day/7?lang=en&x=1";
+  EXPECT_EQ(req.Path(), "/day/7");
+  req.target = "/plain";
+  EXPECT_EQ(req.Path(), "/plain");
+}
+
+TEST(HttpMessageTest, QueryParam) {
+  HttpRequest req;
+  req.target = "/p?lang=en&day=7&flag";
+  EXPECT_EQ(req.QueryParam("lang"), "en");
+  EXPECT_EQ(req.QueryParam("day"), "7");
+  EXPECT_EQ(req.QueryParam("flag"), "");
+  EXPECT_FALSE(req.QueryParam("ghost").has_value());
+}
+
+TEST(HttpMessageTest, KeepAliveDefaults) {
+  HttpRequest req;
+  req.version = "HTTP/1.1";
+  EXPECT_TRUE(req.KeepAlive());
+  req.version = "HTTP/1.0";
+  EXPECT_FALSE(req.KeepAlive());
+  req.headers["Connection"] = "keep-alive";
+  EXPECT_TRUE(req.KeepAlive());
+  req.version = "HTTP/1.1";
+  req.headers["Connection"] = "close";
+  EXPECT_FALSE(req.KeepAlive());
+}
+
+TEST(HttpMessageTest, HeaderMapCaseInsensitive) {
+  HttpRequest req;
+  req.headers["content-type"] = "text/html";
+  EXPECT_EQ(req.headers.count("Content-Type"), 1u);
+  EXPECT_EQ(req.headers.at("CONTENT-TYPE"), "text/html");
+}
+
+TEST(HttpMessageTest, ResponseFactories) {
+  const auto ok = HttpResponse::Ok("body");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "body");
+  EXPECT_EQ(HttpResponse::NotFound().status, 404);
+  EXPECT_EQ(HttpResponse::ServerError().status, 500);
+  EXPECT_EQ(HttpResponse::ServiceUnavailable().status, 503);
+}
+
+TEST(HttpMessageTest, SerializeSetsContentLength) {
+  auto r = HttpResponse::Ok("12345");
+  const std::string wire = r.Serialize();
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n12345"));
+}
+
+// --- parser ---------------------------------------------------------------------
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.Feed("GET /day/7 HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  auto req = parser.Next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/day/7");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->headers.at("Host"), "x");
+  EXPECT_FALSE(parser.Next().has_value());
+}
+
+TEST(RequestParserTest, ParsesBodyByContentLength) {
+  RequestParser parser;
+  ASSERT_TRUE(
+      parser.Feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").ok());
+  auto req = parser.Next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(RequestParserTest, IncrementalFeed) {
+  RequestParser parser;
+  const std::string wire = "GET /a HTTP/1.1\r\nHost: h\r\n\r\n";
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+  }
+  auto req = parser.Next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->target, "/a");
+}
+
+TEST(RequestParserTest, PipelinedRequests) {
+  RequestParser parser;
+  ASSERT_TRUE(parser
+                  .Feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+                        "GET /c HTTP/1.1\r\n\r\n")
+                  .ok());
+  EXPECT_EQ(parser.Next()->target, "/a");
+  EXPECT_EQ(parser.Next()->target, "/b");
+  EXPECT_EQ(parser.Next()->target, "/c");
+  EXPECT_FALSE(parser.Next().has_value());
+}
+
+TEST(RequestParserTest, IncompleteBodyWaits) {
+  RequestParser parser;
+  ASSERT_TRUE(
+      parser.Feed("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel").ok());
+  EXPECT_FALSE(parser.Next().has_value());
+  ASSERT_TRUE(parser.Feed("lo world").ok());
+  EXPECT_EQ(parser.Next()->body, std::string("hello world").substr(0, 10));
+}
+
+TEST(RequestParserTest, MalformedStartLine) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.Feed("GARBAGE\r\n\r\n").ok());
+}
+
+TEST(RequestParserTest, MissingVersionRejected) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.Feed("GET /x\r\n\r\n").ok());
+}
+
+TEST(RequestParserTest, BadVersionRejected) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.Feed("GET /x SMTP/1.0\r\n\r\n").ok());
+}
+
+TEST(RequestParserTest, MalformedHeaderRejected) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.Feed("GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n").ok());
+  RequestParser parser2;
+  EXPECT_FALSE(parser2.Feed("GET /x HTTP/1.1\r\n: empty\r\n\r\n").ok());
+  RequestParser parser3;
+  EXPECT_FALSE(
+      parser3.Feed("GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n").ok());
+}
+
+TEST(RequestParserTest, BadContentLengthRejected) {
+  RequestParser parser;
+  EXPECT_FALSE(
+      parser.Feed("POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n").ok());
+}
+
+TEST(RequestParserTest, OversizedHeaderRejected) {
+  RequestParser parser;
+  std::string huge = "GET /x HTTP/1.1\r\nX-Big: ";
+  huge.append(RequestParser::kMaxHeaderBytes, 'a');
+  EXPECT_FALSE(parser.Feed(huge).ok());
+}
+
+TEST(RequestParserTest, HeaderValueTrimmed) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.Feed("GET /x HTTP/1.1\r\nHost:   spaced   \r\n\r\n").ok());
+  EXPECT_EQ(parser.Next()->headers.at("Host"), "spaced");
+}
+
+TEST(ResponseParserTest, ParsesResponse) {
+  ResponseParser parser;
+  ASSERT_TRUE(parser
+                  .Feed("HTTP/1.1 404 Not Found\r\nContent-Length: 4\r\n"
+                        "\r\ngone")
+                  .ok());
+  auto resp = parser.Next();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->reason, "Not Found");
+  EXPECT_EQ(resp->body, "gone");
+}
+
+TEST(ResponseParserTest, BadStatusRejected) {
+  ResponseParser parser;
+  EXPECT_FALSE(parser.Feed("HTTP/1.1 9999 Weird\r\n\r\n").ok());
+  ResponseParser parser2;
+  EXPECT_FALSE(parser2.Feed("HTTP/1.1 abc Oops\r\n\r\n").ok());
+}
+
+// Round-trip property: serialize then parse reproduces the message.
+class RoundtripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundtripTest, RequestSurvivesWire) {
+  HttpRequest req;
+  req.method = GetParam() % 2 ? "GET" : "POST";
+  req.target = "/page/" + std::to_string(GetParam());
+  req.headers["Host"] = "nagano.olympic.org";
+  req.headers["X-Trace"] = std::to_string(GetParam() * 7);
+  if (req.method == "POST") req.body = std::string(GetParam() * 10, 'b');
+
+  RequestParser parser;
+  ASSERT_TRUE(parser.Feed(req.Serialize()).ok());
+  auto out = parser.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->method, req.method);
+  EXPECT_EQ(out->target, req.target);
+  EXPECT_EQ(out->body, req.body);
+  EXPECT_EQ(out->headers.at("Host"), "nagano.olympic.org");
+}
+
+TEST_P(RoundtripTest, ResponseSurvivesWire) {
+  HttpResponse resp;
+  resp.status = 200 + GetParam();
+  resp.reason = "Custom Reason";
+  resp.body = std::string(GetParam() * 100, 'x');
+  resp.headers["X-Cache"] = "HIT";
+
+  ResponseParser parser;
+  ASSERT_TRUE(parser.Feed(resp.Serialize()).ok());
+  auto out = parser.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, resp.status);
+  EXPECT_EQ(out->reason, "Custom Reason");
+  EXPECT_EQ(out->body, resp.body);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoundtripTest, ::testing::Values(0, 1, 3, 17, 64));
+
+// --- live server ---------------------------------------------------------------------
+
+class LiveServerTest : public ::testing::Test {
+ protected:
+  void StartEcho() {
+    server_ = std::make_unique<HttpServer>([](const HttpRequest& req) {
+      if (req.Path() == "/hello") return HttpResponse::Ok("world");
+      if (req.Path() == "/echo") return HttpResponse::Ok(req.body);
+      return HttpResponse::NotFound();
+    });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(LiveServerTest, ServesGet) {
+  StartEcho();
+  auto resp = HttpClient::FetchOnce("127.0.0.1", server_->port(), "/hello");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_EQ(resp.value().body, "world");
+}
+
+TEST_F(LiveServerTest, Returns404) {
+  StartEcho();
+  auto resp = HttpClient::FetchOnce("127.0.0.1", server_->port(), "/ghost");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 404);
+}
+
+TEST_F(LiveServerTest, KeepAliveServesManyOnOneConnection) {
+  StartEcho();
+  HttpClient client("127.0.0.1", server_->port());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.Get("/hello");
+    ASSERT_TRUE(resp.ok()) << i;
+    EXPECT_EQ(resp.value().body, "world");
+  }
+  // All twenty went over one accepted connection.
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+  EXPECT_EQ(server_->stats().requests_served, 20u);
+}
+
+TEST_F(LiveServerTest, PostBodyEchoed) {
+  StartEcho();
+  HttpClient client("127.0.0.1", server_->port());
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/echo";
+  req.body = "payload-data";
+  auto resp = client.Roundtrip(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "payload-data");
+}
+
+TEST_F(LiveServerTest, ConcurrentClients) {
+  StartEcho();
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      HttpClient client("127.0.0.1", server_->port());
+      for (int i = 0; i < 25; ++i) {
+        auto resp = client.Get("/hello");
+        if (resp.ok() && resp.value().body == "world") ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * 25);
+}
+
+TEST_F(LiveServerTest, MalformedRequestGets400) {
+  StartEcho();
+  HttpClient raw("127.0.0.1", server_->port());
+  HttpRequest bad;
+  bad.method = "GET";
+  bad.target = "/x";
+  // Send raw garbage via a hand-rolled request. Use the client socket by
+  // crafting an invalid serialized form through a custom header name with a
+  // space (serializer emits it verbatim; server parser must reject).
+  bad.headers["Bad Header"] = "v";
+  auto resp = raw.Roundtrip(bad);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 400);
+}
+
+TEST_F(LiveServerTest, StopIsIdempotent) {
+  StartEcho();
+  server_->Stop();
+  server_->Stop();
+}
+
+TEST_F(LiveServerTest, PortIsKernelAssigned) {
+  StartEcho();
+  EXPECT_GT(server_->port(), 0);
+}
+
+TEST(HttpServerTest, DoubleStartRejected) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok(""); });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+}
+
+TEST(HttpClientTest, ConnectToClosedPortFails) {
+  auto resp = HttpClient::FetchOnce("127.0.0.1", 1, "/x");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace nagano::http

@@ -1,0 +1,233 @@
+// Property suites for DUP over randomized graphs: the affected set must
+// equal plain reachability (threshold 0), the simple fast path must agree
+// with the general algorithm, and the emitted order must respect
+// dependencies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "odg/dup.h"
+#include "odg/graph.h"
+
+namespace nagano::odg {
+namespace {
+
+struct RandomGraphSpec {
+  uint64_t seed;
+  int data_nodes;
+  int both_nodes;
+  int object_nodes;
+  double edge_prob;
+  bool allow_cycles;
+};
+
+// Builds a random layered graph: data -> both -> both -> object, plus
+// optional back-edges among the "both" layer to create cycles.
+struct BuiltGraph {
+  std::vector<NodeId> data, both, objects;
+};
+
+BuiltGraph BuildRandom(ObjectDependenceGraph& g, const RandomGraphSpec& spec) {
+  Rng rng(spec.seed);
+  BuiltGraph built;
+  for (int i = 0; i < spec.data_nodes; ++i) {
+    built.data.push_back(
+        g.EnsureNode("d" + std::to_string(i), NodeKind::kUnderlyingData));
+  }
+  for (int i = 0; i < spec.both_nodes; ++i) {
+    built.both.push_back(
+        g.EnsureNode("b" + std::to_string(i), NodeKind::kBoth));
+  }
+  for (int i = 0; i < spec.object_nodes; ++i) {
+    built.objects.push_back(
+        g.EnsureNode("o" + std::to_string(i), NodeKind::kObject));
+  }
+  for (const NodeId d : built.data) {
+    for (const NodeId b : built.both) {
+      if (rng.NextBool(spec.edge_prob)) (void)g.AddDependence(d, b);
+    }
+    for (const NodeId o : built.objects) {
+      if (rng.NextBool(spec.edge_prob / 2)) (void)g.AddDependence(d, o);
+    }
+  }
+  for (size_t i = 0; i < built.both.size(); ++i) {
+    for (size_t j = 0; j < built.both.size(); ++j) {
+      if (i == j) continue;
+      const bool forward = j > i;
+      if ((forward || spec.allow_cycles) && rng.NextBool(spec.edge_prob / 2)) {
+        (void)g.AddDependence(built.both[i], built.both[j]);
+      }
+    }
+    for (const NodeId o : built.objects) {
+      if (rng.NextBool(spec.edge_prob)) {
+        (void)g.AddDependence(built.both[i], o);
+      }
+    }
+  }
+  return built;
+}
+
+// Reference reachability by BFS over OutEdges.
+std::set<NodeId> Reachable(const ObjectDependenceGraph& g,
+                           const std::vector<NodeId>& from) {
+  std::set<NodeId> seen(from.begin(), from.end());
+  std::vector<NodeId> frontier = from;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : g.OutEdges(v)) {
+      if (seen.insert(e.to).second) frontier.push_back(e.to);
+    }
+  }
+  return seen;
+}
+
+class DupRandomGraphTest : public ::testing::TestWithParam<RandomGraphSpec> {};
+
+TEST_P(DupRandomGraphTest, AffectedEqualsReachability) {
+  const RandomGraphSpec spec = GetParam();
+  ObjectDependenceGraph g;
+  const BuiltGraph built = BuildRandom(g, spec);
+
+  Rng rng(spec.seed ^ 0xabcdef);
+  // Several random change sets per graph.
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<NodeId> changed;
+    for (const NodeId d : built.data) {
+      if (rng.NextBool(0.3)) changed.push_back(d);
+    }
+    if (changed.empty()) changed.push_back(built.data[0]);
+
+    const auto result = DupEngine::ComputeAffected(g, changed);
+    const auto reachable = Reachable(g, changed);
+
+    std::set<NodeId> expected;
+    for (const NodeId v : reachable) {
+      const bool is_changed =
+          std::find(changed.begin(), changed.end(), v) != changed.end();
+      if (is_changed) continue;
+      const NodeKind k = g.kind(v);
+      if (k == NodeKind::kObject || k == NodeKind::kBoth) expected.insert(v);
+    }
+
+    std::set<NodeId> actual;
+    for (const auto& a : result.affected) {
+      EXPECT_GT(a.obsolescence, 0.0);
+      EXPECT_LE(a.obsolescence, 1.0);
+      EXPECT_TRUE(actual.insert(a.id).second) << "duplicate in affected set";
+    }
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+    EXPECT_EQ(result.visited, reachable.size());
+  }
+}
+
+TEST_P(DupRandomGraphTest, OrderRespectsDependencies) {
+  const RandomGraphSpec spec = GetParam();
+  ObjectDependenceGraph g;
+  const BuiltGraph built = BuildRandom(g, spec);
+
+  std::vector<NodeId> changed(built.data.begin(), built.data.end());
+  const auto result = DupEngine::ComputeAffected(g, changed);
+
+  std::map<NodeId, size_t> position;
+  for (size_t i = 0; i < result.affected.size(); ++i) {
+    position[result.affected[i].id] = i;
+  }
+  // For every edge u -> v with both endpoints in the affected set and not
+  // in the same SCC, u must come first. (Same-SCC pairs have no defined
+  // order.) We approximate "same SCC" by mutual reachability.
+  for (const auto& [u, pu] : position) {
+    for (const Edge& e : g.OutEdges(u)) {
+      auto it = position.find(e.to);
+      if (it == position.end()) continue;
+      const auto back = Reachable(g, {e.to});
+      if (back.count(u)) continue;  // cycle: unordered
+      EXPECT_LT(pu, it->second)
+          << g.name(u) << " must precede " << g.name(e.to);
+    }
+  }
+}
+
+TEST_P(DupRandomGraphTest, Deterministic) {
+  const RandomGraphSpec spec = GetParam();
+  ObjectDependenceGraph g1, g2;
+  BuildRandom(g1, spec);
+  BuildRandom(g2, spec);
+  std::vector<NodeId> changed = {0};
+  const auto r1 = DupEngine::ComputeAffected(g1, changed);
+  const auto r2 = DupEngine::ComputeAffected(g2, changed);
+  ASSERT_EQ(r1.affected.size(), r2.affected.size());
+  for (size_t i = 0; i < r1.affected.size(); ++i) {
+    EXPECT_EQ(r1.affected[i].id, r2.affected[i].id);
+    EXPECT_DOUBLE_EQ(r1.affected[i].obsolescence, r2.affected[i].obsolescence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, DupRandomGraphTest,
+    ::testing::Values(
+        RandomGraphSpec{1, 5, 5, 10, 0.3, false},
+        RandomGraphSpec{2, 10, 10, 30, 0.2, false},
+        RandomGraphSpec{3, 20, 15, 50, 0.1, false},
+        RandomGraphSpec{4, 5, 8, 10, 0.4, true},
+        RandomGraphSpec{5, 15, 20, 40, 0.15, true},
+        RandomGraphSpec{6, 30, 25, 80, 0.08, true},
+        RandomGraphSpec{7, 2, 2, 4, 0.8, true},
+        RandomGraphSpec{8, 50, 0, 200, 0.05, false},
+        RandomGraphSpec{9, 1, 30, 1, 0.3, true},
+        RandomGraphSpec{10, 40, 40, 120, 0.04, true}));
+
+// --- simple vs general agreement on bipartite graphs -----------------------------
+
+class DupSimpleAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DupSimpleAgreementTest, FastPathMatchesGeneral) {
+  Rng rng(GetParam());
+  ObjectDependenceGraph g;
+  std::vector<NodeId> data, objects;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back(
+        g.EnsureNode("d" + std::to_string(i), NodeKind::kUnderlyingData));
+  }
+  for (int i = 0; i < 60; ++i) {
+    objects.push_back(
+        g.EnsureNode("o" + std::to_string(i), NodeKind::kObject));
+  }
+  for (const NodeId d : data) {
+    for (const NodeId o : objects) {
+      if (rng.NextBool(0.15)) (void)g.AddDependence(d, o);
+    }
+  }
+  ASSERT_TRUE(g.IsSimple());
+
+  std::vector<NodeId> changed;
+  for (const NodeId d : data) {
+    if (rng.NextBool(0.4)) changed.push_back(d);
+  }
+  DupOptions fast, slow;
+  fast.enable_simple_fast_path = true;
+  slow.enable_simple_fast_path = false;
+  const auto rf = DupEngine::ComputeAffected(g, changed, fast);
+  const auto rs = DupEngine::ComputeAffected(g, changed, slow);
+  EXPECT_TRUE(rf.used_simple_path);
+  EXPECT_FALSE(rs.used_simple_path);
+
+  std::set<NodeId> sf, ss;
+  for (const auto& a : rf.affected) sf.insert(a.id);
+  for (const auto& a : rs.affected) ss.insert(a.id);
+  EXPECT_EQ(sf, ss);
+  // The fast path reports full obsolescence; the general path reports the
+  // changed fraction of each object's inputs. Both exceed any 0 threshold.
+  for (const auto& a : rf.affected) EXPECT_DOUBLE_EQ(a.obsolescence, 1.0);
+  for (const auto& a : rs.affected) EXPECT_GT(a.obsolescence, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DupSimpleAgreementTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace nagano::odg

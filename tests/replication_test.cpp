@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "replication/replication.h"
+
+namespace nagano::replication {
+namespace {
+
+using db::ColumnType;
+using db::Database;
+using db::Value;
+
+// The paper's replication tree: Nagano master -> Tokyo and Schaumburg;
+// Schaumburg -> Columbus and Bethesda; Tokyo is Schaumburg's backup feed.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name :
+         {"Nagano", "Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
+      auto database = std::make_unique<Database>(&clock_);
+      ASSERT_TRUE(database
+                      ->CreateTable("results", {{"k", ColumnType::kInt},
+                                                {"v", ColumnType::kString}})
+                      .ok());
+      dbs_[name] = std::move(database);
+      ASSERT_TRUE(topology_.AddNode(name, dbs_[name].get()).ok());
+    }
+    ASSERT_TRUE(topology_.SetFeed("Tokyo", "Nagano", FromMillis(50)).ok());
+    ASSERT_TRUE(topology_.SetFeed("Schaumburg", "Nagano", FromMillis(120)).ok());
+    ASSERT_TRUE(topology_.SetFeed("Columbus", "Schaumburg", FromMillis(30)).ok());
+    ASSERT_TRUE(topology_.SetFeed("Bethesda", "Schaumburg", FromMillis(30)).ok());
+    ASSERT_TRUE(topology_.SetFailoverFeed("Schaumburg", "Tokyo").ok());
+  }
+
+  void Commit(int k) {
+    ASSERT_TRUE(dbs_["Nagano"]
+                    ->Upsert("results", {Value(int64_t(k)),
+                                         Value(std::string("r"))})
+                    .ok());
+  }
+
+  SimClock clock_{0};
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+  ReplicationTopology topology_{&clock_};
+};
+
+TEST_F(ReplicationTest, AddNodeValidation) {
+  EXPECT_EQ(topology_.AddNode("Nagano", dbs_["Nagano"].get()).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(topology_.AddNode("Null", nullptr).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationTest, SetFeedValidation) {
+  EXPECT_EQ(topology_.SetFeed("Ghost", "Nagano", 0).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(topology_.SetFeed("Tokyo", "Ghost", 0).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(topology_.SetFeed("Tokyo", "Tokyo", 0).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationTest, FeedCycleRejected) {
+  // The master feeding from any of its descendants would loop the tree.
+  EXPECT_EQ(topology_.SetFeed("Nagano", "Tokyo", 0).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(topology_.SetFeed("Nagano", "Columbus", 0).code(),
+            ErrorCode::kInvalidArgument);
+  // Re-parenting within the tree (no cycle) is fine.
+  EXPECT_TRUE(topology_.SetFeed("Columbus", "Tokyo", 0).ok());
+}
+
+TEST_F(ReplicationTest, LagGatesDelivery) {
+  Commit(1);
+  // At t=0 nothing has arrived anywhere.
+  EXPECT_EQ(topology_.Pump(), 0u);
+  EXPECT_EQ(dbs_["Tokyo"]->RowCount("results"), 0u);
+
+  clock_.AdvanceTo(FromMillis(60));  // past Tokyo's 50ms, not Schaumburg's 120
+  EXPECT_GT(topology_.Pump(), 0u);
+  EXPECT_EQ(dbs_["Tokyo"]->RowCount("results"), 1u);
+  EXPECT_EQ(dbs_["Schaumburg"]->RowCount("results"), 0u);
+
+  clock_.AdvanceTo(FromMillis(200));
+  topology_.PumpUntilQuiet();
+  EXPECT_EQ(dbs_["Schaumburg"]->RowCount("results"), 1u);
+  EXPECT_EQ(dbs_["Columbus"]->RowCount("results"), 1u);
+  EXPECT_EQ(dbs_["Bethesda"]->RowCount("results"), 1u);
+  EXPECT_TRUE(topology_.Converged());
+}
+
+TEST_F(ReplicationTest, InOrderExactlyOnce) {
+  for (int i = 1; i <= 50; ++i) Commit(i);
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+
+  for (const char* name : {"Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
+    const auto log = dbs_[name]->ChangesSince(0);
+    ASSERT_EQ(log.size(), 50u) << name;
+    for (size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].seqno, i + 1) << name;  // dense: in order, no dups
+    }
+  }
+}
+
+TEST_F(ReplicationTest, RepeatedPumpIsIdempotent) {
+  Commit(1);
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+  EXPECT_EQ(topology_.Pump(), 0u);
+  EXPECT_EQ(dbs_["Tokyo"]->LastSeqno(), 1u);
+}
+
+TEST_F(ReplicationTest, DownFeedStallsChildren) {
+  Commit(1);
+  clock_.AdvanceTo(kSecond);
+  ASSERT_TRUE(topology_.MarkDown("Schaumburg").ok());
+  topology_.PumpUntilQuiet();
+  EXPECT_EQ(dbs_["Tokyo"]->RowCount("results"), 1u);
+  EXPECT_EQ(dbs_["Schaumburg"]->RowCount("results"), 0u);
+  // Columbus/Bethesda have no failover feed; they stall.
+  EXPECT_EQ(dbs_["Columbus"]->RowCount("results"), 0u);
+
+  ASSERT_TRUE(topology_.MarkUp("Schaumburg").ok());
+  topology_.PumpUntilQuiet();
+  EXPECT_EQ(dbs_["Columbus"]->RowCount("results"), 1u);
+}
+
+TEST_F(ReplicationTest, FailoverReparentsToTokyo) {
+  // "For reliability and recovery purposes, the Tokyo site was also capable
+  // of replicating the database to Schaumburg."
+  Commit(1);
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+
+  ASSERT_TRUE(topology_.MarkDown("Nagano").ok());
+  // New data cannot originate while the master is down in this test, but
+  // Schaumburg must re-parent and keep consuming whatever Tokyo has.
+  Commit(2);  // (committed before the outage reached the log consumers)
+  clock_.AdvanceTo(2 * kSecond);
+  topology_.PumpUntilQuiet();
+
+  const auto status = topology_.StatusOf("Schaumburg");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().feed, "Tokyo");
+  // Tokyo could not pull (its feed Nagano is down), so both stay at 1.
+  EXPECT_EQ(dbs_["Schaumburg"]->LastSeqno(), dbs_["Tokyo"]->LastSeqno());
+}
+
+TEST_F(ReplicationTest, ReparentingLosesNothing) {
+  for (int i = 1; i <= 10; ++i) Commit(i);
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+
+  // Manual re-parent mid-stream: Columbus switches to Tokyo.
+  for (int i = 11; i <= 20; ++i) Commit(i);
+  ASSERT_TRUE(topology_.SetFeed("Columbus", "Tokyo", FromMillis(80)).ok());
+  clock_.AdvanceTo(3 * kSecond);
+  topology_.PumpUntilQuiet();
+
+  const auto log = dbs_["Columbus"]->ChangesSince(0);
+  ASSERT_EQ(log.size(), 20u);
+  for (size_t i = 0; i < log.size(); ++i) EXPECT_EQ(log[i].seqno, i + 1);
+}
+
+TEST_F(ReplicationTest, StatusesReportEveryNode) {
+  const auto statuses = topology_.Statuses();
+  EXPECT_EQ(statuses.size(), 5u);
+  bool saw_master = false;
+  for (const auto& s : statuses) {
+    if (s.name == "Nagano") {
+      saw_master = true;
+      EXPECT_TRUE(s.feed.empty());
+    }
+  }
+  EXPECT_TRUE(saw_master);
+  EXPECT_EQ(topology_.StatusOf("Ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ReplicationTest, ApplyLagRecorded) {
+  Commit(1);
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+  EXPECT_GT(topology_.apply_lag().count(), 0u);
+  // Lag at apply time is at least the link lag (50ms for Tokyo).
+  EXPECT_GE(topology_.apply_lag().max(), 50.0);
+}
+
+TEST_F(ReplicationTest, ConvergedWithNoTraffic) {
+  EXPECT_TRUE(topology_.Converged());
+  Commit(1);
+  EXPECT_FALSE(topology_.Converged());
+  clock_.AdvanceTo(kSecond);
+  topology_.PumpUntilQuiet();
+  EXPECT_TRUE(topology_.Converged());
+}
+
+}  // namespace
+}  // namespace nagano::replication

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/object_cache.h"
+#include "db/database.h"
+#include "odg/graph.h"
+#include "pagegen/olympic.h"
+#include "pagegen/renderer.h"
+#include "trigger/trigger_monitor.h"
+
+namespace nagano::trigger {
+namespace {
+
+using pagegen::OlympicConfig;
+using pagegen::OlympicSite;
+
+// Small but complete Olympic pipeline under a configurable policy.
+class TriggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.days = 3;
+    config_.num_sports = 2;
+    config_.events_per_sport = 3;
+    config_.athletes_per_event = 5;
+    config_.num_countries = 6;
+    config_.initial_news_articles = 3;
+    ASSERT_TRUE(OlympicSite::Build(config_, &db_).ok());
+    OlympicSite::RegisterGenerators(config_, &db_, &renderer_);
+  }
+
+  void Prefetch() {
+    for (const auto& f : OlympicSite::AllFragmentNames(config_, db_)) {
+      ASSERT_TRUE(renderer_.RenderAndCache(f).ok()) << f;
+    }
+    for (const auto& p : OlympicSite::AllPageNames(config_, db_)) {
+      ASSERT_TRUE(renderer_.RenderAndCache(p).ok()) << p;
+    }
+  }
+
+  std::unique_ptr<TriggerMonitor> MakeMonitor(TriggerOptions options) {
+    if (options.policy == CachePolicy::kConservative1996 &&
+        options.conservative_prefixes.empty()) {
+      options.conservative_prefixes = OlympicConservativePrefixes();
+    }
+    return std::make_unique<TriggerMonitor>(
+        &db_, &graph_, &cache_, &renderer_,
+        [this](const db::ChangeRecord& change) {
+          return OlympicSite::MapChangeToDataNodes(change, db_);
+        },
+        options);
+  }
+
+  OlympicConfig config_;
+  db::Database db_;
+  odg::ObjectDependenceGraph graph_;
+  cache::ObjectCache cache_;
+  pagegen::PageRenderer renderer_{&graph_, &cache_};
+};
+
+TEST_F(TriggerTest, UpdateInPlaceKeepsCacheWarmAndFresh) {
+  Prefetch();
+  const size_t cached_before = cache_.size();
+
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupUpdateInPlace;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  const auto before = cache_.Peek("/event/1");
+  ASSERT_NE(before, nullptr);
+
+  for (int rank = 1; rank <= 3; ++rank) {
+    ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, rank, rank, 99.0 - rank).ok());
+  }
+  ASSERT_TRUE(OlympicSite::CompleteEvent(&db_, 1).ok());
+  monitor->Quiesce();
+
+  // Nothing was evicted; the event page was refreshed in place.
+  EXPECT_EQ(cache_.size(), cached_before);
+  const auto after = cache_.Peek("/event/1");
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->version, before->version);
+  EXPECT_NE(after->body, before->body);
+  EXPECT_EQ(cache_.stats().invalidations, 0u);
+
+  const auto stats = monitor->stats();
+  EXPECT_GT(stats.objects_updated, 0u);
+  EXPECT_EQ(stats.objects_invalidated, 0u);
+  EXPECT_GT(stats.dup_runs, 0u);
+  monitor->Stop();
+}
+
+TEST_F(TriggerTest, CachedBodiesMatchFreshRenderAfterQuiesce) {
+  // The consistency barrier: after Quiesce, every cached page equals what a
+  // fresh render would produce.
+  Prefetch();
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupUpdateInPlace;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  for (int rank = 1; rank <= 4; ++rank) {
+    ASSERT_TRUE(OlympicSite::RecordResult(&db_, 2, rank, rank + 5, 90.0 - rank).ok());
+  }
+  ASSERT_TRUE(OlympicSite::CompleteEvent(&db_, 2).ok());
+  ASSERT_TRUE(OlympicSite::PublishNews(&db_, 500, 1, "Flash", "Body", 1).ok());
+  monitor->Quiesce();
+  monitor->Stop();
+
+  size_t checked = 0;
+  for (const auto& page : OlympicSite::AllPageNames(config_, db_)) {
+    const auto cached = cache_.Peek(page);
+    // Pages created after prefetch (the new article 500 in any language)
+    // are legitimately uncached until first request; everything cached
+    // must be fresh.
+    if (cached == nullptr) {
+      EXPECT_TRUE(page.ends_with("/news/500")) << page;
+      continue;
+    }
+    ++checked;
+    const auto fresh = renderer_.RenderOnly(page);
+    ASSERT_TRUE(fresh.ok()) << page;
+    EXPECT_EQ(cached->body, fresh.value()) << page << " is stale";
+  }
+  EXPECT_GT(checked, 30u);
+}
+
+TEST_F(TriggerTest, InvalidatePolicyDropsExactlyAffected) {
+  Prefetch();
+  const size_t cached_before = cache_.size();
+
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupInvalidate;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, 1, 1, 99.0).ok());
+  monitor->Quiesce();
+  monitor->Stop();
+
+  // The event page is gone; an unrelated event's page is untouched.
+  EXPECT_FALSE(cache_.Contains("/event/1"));
+  EXPECT_TRUE(cache_.Contains("/event/5"));
+  EXPECT_LT(cache_.size(), cached_before);
+  EXPECT_GT(monitor->stats().objects_invalidated, 0u);
+  EXPECT_EQ(monitor->stats().objects_updated, 0u);
+}
+
+TEST_F(TriggerTest, Conservative1996BlowsAwayFamilies) {
+  Prefetch();
+  TriggerOptions options;
+  options.policy = CachePolicy::kConservative1996;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, 1, 1, 99.0).ok());
+  monitor->Quiesce();
+  monitor->Stop();
+
+  // Far more than the precise affected set is gone — including pages of
+  // unrelated events and sports.
+  EXPECT_FALSE(cache_.Contains("/event/1"));
+  EXPECT_FALSE(cache_.Contains("/event/5"));
+  EXPECT_FALSE(cache_.Contains("/day/1"));
+  EXPECT_FALSE(cache_.Contains("/medals"));
+  // News survives a results change under the default table mapping.
+  EXPECT_TRUE(cache_.Contains("/news"));
+}
+
+TEST_F(TriggerTest, NonePolicyLeavesCacheStale) {
+  Prefetch();
+  TriggerOptions options;
+  options.policy = CachePolicy::kNone;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  const auto before = cache_.Peek("/event/1");
+  ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, 1, 1, 99.0).ok());
+  monitor->Quiesce();
+  monitor->Stop();
+
+  EXPECT_EQ(cache_.Peek("/event/1")->version, before->version);
+}
+
+TEST_F(TriggerTest, UncachedPagesNotRegenerated) {
+  // Update-in-place refreshes only what is cached; cold pages regenerate
+  // on demand with fresh data.
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupUpdateInPlace;
+  auto monitor = MakeMonitor(options);
+
+  // Render once to establish ODG edges, then empty the cache.
+  ASSERT_TRUE(renderer_.RenderAndCache("/event/1").ok());
+  cache_.Clear();
+
+  monitor->Start();
+  ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, 1, 1, 99.0).ok());
+  monitor->Quiesce();
+  monitor->Stop();
+
+  EXPECT_FALSE(cache_.Contains("/event/1"));
+  EXPECT_EQ(monitor->stats().objects_updated, 0u);
+}
+
+TEST_F(TriggerTest, ParallelWorkersProduceSameResult) {
+  Prefetch();
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupUpdateInPlace;
+  options.worker_threads = 4;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+
+  for (int event = 1; event <= 4; ++event) {
+    for (int rank = 1; rank <= 3; ++rank) {
+      ASSERT_TRUE(OlympicSite::RecordResult(&db_, event, rank, rank + event,
+                                            95.0 - rank)
+                      .ok());
+    }
+    ASSERT_TRUE(OlympicSite::CompleteEvent(&db_, event).ok());
+  }
+  monitor->Quiesce();
+  monitor->Stop();
+
+  for (const auto& page : OlympicSite::AllPageNames(config_, db_)) {
+    const auto cached = cache_.Peek(page);
+    ASSERT_NE(cached, nullptr) << page;
+    const auto fresh = renderer_.RenderOnly(page);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(cached->body, fresh.value()) << page;
+  }
+}
+
+TEST_F(TriggerTest, StopIsIdempotentAndStartAfterStopRejected) {
+  TriggerOptions options;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+  monitor->Stop();
+  monitor->Stop();  // no crash
+}
+
+TEST_F(TriggerTest, StatsTrackLatencyAndFanout) {
+  Prefetch();
+  TriggerOptions options;
+  options.policy = CachePolicy::kDupUpdateInPlace;
+  auto monitor = MakeMonitor(options);
+  monitor->Start();
+  for (int rank = 1; rank <= 3; ++rank) {
+    ASSERT_TRUE(OlympicSite::RecordResult(&db_, 1, rank, rank, 99.0 - rank).ok());
+  }
+  monitor->Quiesce();
+  monitor->Stop();
+  const auto stats = monitor->stats();
+  EXPECT_GT(stats.update_latency_ms.count(), 0u);
+  EXPECT_GT(stats.fanout.count(), 0u);
+  EXPECT_GT(stats.fanout.max(), 0.0);
+}
+
+TEST(TriggerPolicyTest, PolicyNames) {
+  EXPECT_EQ(CachePolicyName(CachePolicy::kDupUpdateInPlace),
+            "dup-update-in-place");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kDupInvalidate), "dup-invalidate");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kConservative1996),
+            "conservative-1996");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kNone), "none");
+}
+
+TEST(TriggerPolicyTest, ConservativePrefixCoverage) {
+  const auto prefixes = OlympicConservativePrefixes();
+  EXPECT_TRUE(prefixes.contains("results"));
+  EXPECT_TRUE(prefixes.contains("news"));
+  EXPECT_FALSE(prefixes.at("results").empty());
+}
+
+}  // namespace
+}  // namespace nagano::trigger

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "cache/object_cache.h"
+#include "odg/graph.h"
+#include "pagegen/olympic.h"
+#include "pagegen/renderer.h"
+#include "workload/feed.h"
+#include "workload/navigation.h"
+#include "workload/profiles.h"
+#include "workload/sampler.h"
+
+namespace nagano::workload {
+namespace {
+
+using pagegen::OlympicConfig;
+using pagegen::OlympicSite;
+
+// --- profiles -------------------------------------------------------------------
+
+TEST(ProfilesTest, HitsByDayMatchPaperAggregates) {
+  const auto& days = HitsByDayMillions();
+  ASSERT_EQ(days.size(), 16u);
+  // §5: 634.7M total, 56.8M peak on Day 7, every day above the 17M 1996 peak.
+  EXPECT_NEAR(TotalHitsMillions(), 634.7, 0.01);
+  EXPECT_EQ(PeakDay(), 7);
+  EXPECT_DOUBLE_EQ(days[6], 56.8);
+  for (double d : days) EXPECT_GT(d, 17.0);
+}
+
+TEST(ProfilesTest, HourlyWeightsNormalized) {
+  const auto& w = HourlyWeights();
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-9);
+  for (double x : w) EXPECT_GT(x, 0.0);
+  // Diurnal shape: overnight trough far below the midday plateau.
+  EXPECT_LT(w[3], w[12] / 4);
+}
+
+TEST(ProfilesTest, SampleHourFollowsWeights) {
+  Rng rng(1);
+  std::array<int, 24> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(SampleHour(rng))];
+  const auto& w = HourlyWeights();
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(counts[size_t(h)] / double(n), w[size_t(h)], 0.01) << "hour " << h;
+  }
+}
+
+TEST(ProfilesTest, RegionSharesSumToOne) {
+  const auto& regions = Regions();
+  double total = 0;
+  for (const auto& r : regions) total += r.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Every region's home complex is a real complex.
+  const auto& complexes = Complexes();
+  for (const auto& r : regions) {
+    EXPECT_NE(std::find(complexes.begin(), complexes.end(), r.home_complex),
+              complexes.end())
+        << r.name;
+  }
+}
+
+TEST(ProfilesTest, SampleRegionFollowsShares) {
+  Rng rng(2);
+  const auto& regions = Regions();
+  std::vector<int> counts(regions.size(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[SampleRegion(rng)];
+  for (size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_NEAR(counts[i] / double(n), regions[i].share, 0.01) << regions[i].name;
+  }
+}
+
+TEST(ProfilesTest, TransferBytesPlausible) {
+  Rng rng(3);
+  RunningStat regular, home;
+  for (int i = 0; i < 20000; ++i) {
+    regular.Add(static_cast<double>(SampleTransferBytes(rng, false)));
+    home.Add(static_cast<double>(SampleTransferBytes(rng, true)));
+  }
+  // §4: ~10KB mean per hit; home pages ~50KB with images.
+  EXPECT_NEAR(regular.mean(), 10 * 1024, 1024);
+  EXPECT_NEAR(home.mean(), 50 * 1024, 5 * 1024);
+  EXPECT_GE(regular.min(), 256.0);
+}
+
+// --- sampler ---------------------------------------------------------------------
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.days = 5;
+    config_.num_sports = 3;
+    config_.events_per_sport = 5;
+    config_.athletes_per_event = 6;
+    config_.num_countries = 8;
+    ASSERT_TRUE(OlympicSite::Build(config_, &db_).ok());
+    OlympicSite::RegisterGenerators(config_, &db_, &renderer_);
+  }
+
+  OlympicConfig config_;
+  db::Database db_;
+  odg::ObjectDependenceGraph graph_;
+  cache::ObjectCache cache_;
+  pagegen::PageRenderer renderer_{&graph_, &cache_};
+};
+
+TEST_F(SamplerTest, EverySampledPageIsGenerable) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(3);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string page = sampler.Sample(rng);
+    EXPECT_TRUE(renderer_.CanGenerate(page)) << page;
+  }
+}
+
+TEST_F(SamplerTest, DayHomeDominates) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  Rng rng(11);
+  int home_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(rng) == "/day/2") ++home_hits;
+  }
+  // ~26% day-home share with 70% today-bias → today's home page is the
+  // single hottest page (paper: >25% of users satisfied by the home page).
+  EXPECT_GT(home_hits / double(n), 0.12);
+}
+
+TEST_F(SamplerTest, CurrentDayClamped) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(99);
+  EXPECT_EQ(sampler.current_day(), config_.days);
+  sampler.SetCurrentDay(-1);
+  EXPECT_EQ(sampler.current_day(), 1);
+}
+
+TEST_F(SamplerTest, IsHomePageDetection) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(3);
+  EXPECT_TRUE(sampler.IsHomePage("/day/3"));
+  EXPECT_TRUE(sampler.IsHomePage("/"));
+  EXPECT_FALSE(sampler.IsHomePage("/day/2"));
+  EXPECT_FALSE(sampler.IsHomePage("/medals"));
+}
+
+TEST_F(SamplerTest, Deterministic) {
+  PageSampler a(config_, db_), b(config_, db_);
+  a.SetCurrentDay(2);
+  b.SetCurrentDay(2);
+  Rng ra(5), rb(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.Sample(ra), b.Sample(rb));
+}
+
+TEST_F(SamplerTest, TotalPagesMatchesInventory) {
+  PageSampler sampler(config_, db_);
+  EXPECT_EQ(sampler.TotalPages(),
+            OlympicSite::AllPageNames(config_, db_).size());
+}
+
+// --- result feed -----------------------------------------------------------------
+
+class FeedTest : public SamplerTest {};
+
+TEST_F(FeedTest, ScheduleIsDeterministicAndSorted) {
+  ResultFeed feed_a(&db_, FeedOptions{}, 42);
+  ResultFeed feed_b(&db_, FeedOptions{}, 42);
+  const auto a = feed_a.BuildDaySchedule(1);
+  const auto b = feed_b.BuildDaySchedule(1);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].event_id, b[i].event_id);
+    if (i > 0) {
+      EXPECT_GE(a[i].at, a[i - 1].at);
+    }
+  }
+}
+
+TEST_F(FeedTest, EveryEventOnDayGetsResultsAndCompletion) {
+  ResultFeed feed(&db_, FeedOptions{}, 42);
+  const auto schedule = feed.BuildDaySchedule(1);
+
+  std::set<int64_t> completed;
+  std::map<int64_t, int> results_per_event;
+  for (const auto& u : schedule) {
+    if (u.kind == FeedUpdate::Kind::kCompleteEvent) completed.insert(u.event_id);
+    if (u.kind == FeedUpdate::Kind::kResult) ++results_per_event[u.event_id];
+  }
+  const auto day_events = db_.Scan("events", [](const db::Row& r) {
+    return std::get<int64_t>(r[3]) == 1;
+  });
+  EXPECT_EQ(completed.size(), day_events.size());
+  for (const auto& [event, count] : results_per_event) {
+    EXPECT_GE(count, 3) << "event " << event;
+  }
+}
+
+TEST_F(FeedTest, RunDayAppliesEverything) {
+  ResultFeed feed(&db_, FeedOptions{}, 42);
+  const auto applied = feed.RunDay(1);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GT(applied.value(), 0u);
+
+  // Every day-1 event is final with medals awarded.
+  for (const auto& row : db_.Scan("events", [](const db::Row& r) {
+         return std::get<int64_t>(r[3]) == 1;
+       })) {
+    EXPECT_EQ(std::get<std::string>(row[5]), "final");
+    EXPECT_TRUE(db_.Get("medals", row[0]).ok());
+  }
+  // News was published.
+  EXPECT_GT(db_.RowCount("news"),
+            static_cast<size_t>(config_.initial_news_articles));
+}
+
+TEST_F(FeedTest, RanksOrderedByScore) {
+  ResultFeed feed(&db_, FeedOptions{}, 42);
+  ASSERT_TRUE(feed.RunDay(1).ok());
+  for (const auto& event_row : db_.Scan("events", [](const db::Row& r) {
+         return std::get<int64_t>(r[3]) == 1;
+       })) {
+    const int64_t event_id = std::get<int64_t>(event_row[0]);
+    auto results = db_.Scan("results", [&](const db::Row& r) {
+      return std::get<int64_t>(r[1]) == event_id;
+    });
+    std::sort(results.begin(), results.end(),
+              [](const db::Row& a, const db::Row& b) {
+                return std::get<int64_t>(a[2]) < std::get<int64_t>(b[2]);
+              });
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_GT(std::get<double>(results[i - 1][4]),
+                std::get<double>(results[i][4]));
+    }
+  }
+}
+
+// --- navigation ---------------------------------------------------------------------
+
+class NavigationTest : public SamplerTest {};
+
+TEST_F(NavigationTest, SessionsAlwaysStartAtHome) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  NavigationModel model(&sampler);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const auto s98 = model.SampleSession(SiteDesign::k1998, rng);
+    ASSERT_FALSE(s98.requests.empty());
+    EXPECT_EQ(s98.requests[0], "/day/2");
+    const auto s96 = model.SampleSession(SiteDesign::k1996, rng);
+    EXPECT_EQ(s96.requests[0], "/");
+  }
+}
+
+TEST_F(NavigationTest, NineteenNinetySixNeedsMoreRequests) {
+  // §3.1: at least three requests to navigate to a result page in 1996;
+  // the 1998 redesign cut that sharply. The paper's estimate: the 1996
+  // design would have produced >3x the observed peak traffic.
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  NavigationModel model(&sampler);
+  Rng rng(17);
+  const double mean96 =
+      model.MeanRequestsPerSession(SiteDesign::k1996, rng, 20000);
+  const double mean98 =
+      model.MeanRequestsPerSession(SiteDesign::k1998, rng, 20000);
+  EXPECT_GE(mean96, 3.0);
+  EXPECT_LE(mean98, 2.0);
+  EXPECT_GT(mean96 / mean98, 1.8);
+}
+
+TEST_F(NavigationTest, HomeSatisfactionOver25Percent) {
+  // §3.1: "over 25% of the users found the information they were looking
+  // for by examining the home page for the current day."
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  NavigationModel model(&sampler);
+  Rng rng(19);
+  const double rate98 =
+      model.HomeSatisfactionRate(SiteDesign::k1998, rng, 20000);
+  const double rate96 =
+      model.HomeSatisfactionRate(SiteDesign::k1996, rng, 20000);
+  EXPECT_GT(rate98, 0.25);
+  EXPECT_EQ(rate96, 0.0);  // the 1996 home page held no results
+}
+
+TEST_F(NavigationTest, GoalSessionsEndAtUsefulPage) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  NavigationModel model(&sampler);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = model.SampleSession(SiteDesign::k1998, rng);
+    if (s.goal == Goal::kMedalStandings && !s.satisfied_on_home) {
+      EXPECT_EQ(s.requests.back(), "/medals");
+    }
+    if (s.goal == Goal::kEventResult && !s.satisfied_on_home) {
+      EXPECT_TRUE(s.requests.back().starts_with("/event/"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nagano::workload
