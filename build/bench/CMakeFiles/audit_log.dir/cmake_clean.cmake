@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_log.dir/audit_log.cpp.o"
+  "CMakeFiles/audit_log.dir/audit_log.cpp.o.d"
+  "audit_log"
+  "audit_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

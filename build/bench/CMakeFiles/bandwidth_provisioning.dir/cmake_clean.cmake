@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_provisioning.dir/bandwidth_provisioning.cpp.o"
+  "CMakeFiles/bandwidth_provisioning.dir/bandwidth_provisioning.cpp.o.d"
+  "bandwidth_provisioning"
+  "bandwidth_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

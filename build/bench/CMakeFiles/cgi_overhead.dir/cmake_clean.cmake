@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgi_overhead.dir/cgi_overhead.cpp.o"
+  "CMakeFiles/cgi_overhead.dir/cgi_overhead.cpp.o.d"
+  "cgi_overhead"
+  "cgi_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgi_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

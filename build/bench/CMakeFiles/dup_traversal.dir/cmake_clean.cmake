@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_traversal.dir/dup_traversal.cpp.o"
+  "CMakeFiles/dup_traversal.dir/dup_traversal.cpp.o.d"
+  "dup_traversal"
+  "dup_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

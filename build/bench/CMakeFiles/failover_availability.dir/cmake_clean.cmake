@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_availability.dir/failover_availability.cpp.o"
+  "CMakeFiles/failover_availability.dir/failover_availability.cpp.o.d"
+  "failover_availability"
+  "failover_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_hits_by_day.dir/fig20_hits_by_day.cpp.o"
+  "CMakeFiles/fig20_hits_by_day.dir/fig20_hits_by_day.cpp.o.d"
+  "fig20_hits_by_day"
+  "fig20_hits_by_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_hits_by_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

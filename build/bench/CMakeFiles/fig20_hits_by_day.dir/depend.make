@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_hits_by_day.
+# This may be replaced when dependencies are built.

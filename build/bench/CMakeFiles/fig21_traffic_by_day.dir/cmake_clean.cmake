@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_traffic_by_day.dir/fig21_traffic_by_day.cpp.o"
+  "CMakeFiles/fig21_traffic_by_day.dir/fig21_traffic_by_day.cpp.o.d"
+  "fig21_traffic_by_day"
+  "fig21_traffic_by_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_traffic_by_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

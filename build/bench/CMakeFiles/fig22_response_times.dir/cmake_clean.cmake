@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_response_times.dir/fig22_response_times.cpp.o"
+  "CMakeFiles/fig22_response_times.dir/fig22_response_times.cpp.o.d"
+  "fig22_response_times"
+  "fig22_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

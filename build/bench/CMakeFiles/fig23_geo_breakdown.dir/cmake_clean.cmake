@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_geo_breakdown.dir/fig23_geo_breakdown.cpp.o"
+  "CMakeFiles/fig23_geo_breakdown.dir/fig23_geo_breakdown.cpp.o.d"
+  "fig23_geo_breakdown"
+  "fig23_geo_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_geo_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

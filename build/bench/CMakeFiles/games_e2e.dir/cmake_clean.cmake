@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/games_e2e.dir/games_e2e.cpp.o"
+  "CMakeFiles/games_e2e.dir/games_e2e.cpp.o.d"
+  "games_e2e"
+  "games_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/games_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitrate_dup_vs_1996.dir/hitrate_dup_vs_1996.cpp.o"
+  "CMakeFiles/hitrate_dup_vs_1996.dir/hitrate_dup_vs_1996.cpp.o.d"
+  "hitrate_dup_vs_1996"
+  "hitrate_dup_vs_1996.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitrate_dup_vs_1996.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

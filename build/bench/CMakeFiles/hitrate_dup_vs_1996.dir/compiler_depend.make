@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hitrate_dup_vs_1996.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hitrate_dup_vs_1996.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_structure.dir/page_structure.cpp.o"
+  "CMakeFiles/page_structure.dir/page_structure.cpp.o.d"
+  "page_structure"
+  "page_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

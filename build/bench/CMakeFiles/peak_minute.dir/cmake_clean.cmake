@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_minute.dir/peak_minute.cpp.o"
+  "CMakeFiles/peak_minute.dir/peak_minute.cpp.o.d"
+  "peak_minute"
+  "peak_minute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_minute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peak_minute.
+# This may be replaced when dependencies are built.

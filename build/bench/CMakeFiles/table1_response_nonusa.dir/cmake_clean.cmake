@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_response_nonusa.dir/table1_response_nonusa.cpp.o"
+  "CMakeFiles/table1_response_nonusa.dir/table1_response_nonusa.cpp.o.d"
+  "table1_response_nonusa"
+  "table1_response_nonusa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_response_nonusa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_response_usa.dir/table2_response_usa.cpp.o"
+  "CMakeFiles/table2_response_usa.dir/table2_response_usa.cpp.o.d"
+  "table2_response_usa"
+  "table2_response_usa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_response_usa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

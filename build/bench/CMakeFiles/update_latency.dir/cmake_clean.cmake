@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_latency.dir/update_latency.cpp.o"
+  "CMakeFiles/update_latency.dir/update_latency.cpp.o.d"
+  "update_latency"
+  "update_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympic_games.dir/olympic_games.cpp.o"
+  "CMakeFiles/olympic_games.dir/olympic_games.cpp.o.d"
+  "olympic_games"
+  "olympic_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympic_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

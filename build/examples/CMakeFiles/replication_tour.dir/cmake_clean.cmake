@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_tour.dir/replication_tour.cpp.o"
+  "CMakeFiles/replication_tour.dir/replication_tour.cpp.o.d"
+  "replication_tour"
+  "replication_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

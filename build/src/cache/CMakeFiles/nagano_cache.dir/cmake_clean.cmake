@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_cache.dir/fleet.cpp.o"
+  "CMakeFiles/nagano_cache.dir/fleet.cpp.o.d"
+  "CMakeFiles/nagano_cache.dir/object_cache.cpp.o"
+  "CMakeFiles/nagano_cache.dir/object_cache.cpp.o.d"
+  "libnagano_cache.a"
+  "libnagano_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_cluster.dir/fabric.cpp.o"
+  "CMakeFiles/nagano_cluster.dir/fabric.cpp.o.d"
+  "CMakeFiles/nagano_cluster.dir/net.cpp.o"
+  "CMakeFiles/nagano_cluster.dir/net.cpp.o.d"
+  "CMakeFiles/nagano_cluster.dir/sim.cpp.o"
+  "CMakeFiles/nagano_cluster.dir/sim.cpp.o.d"
+  "libnagano_cluster.a"
+  "libnagano_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_common.dir/clock.cpp.o"
+  "CMakeFiles/nagano_common.dir/clock.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/intern.cpp.o"
+  "CMakeFiles/nagano_common.dir/intern.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/logging.cpp.o"
+  "CMakeFiles/nagano_common.dir/logging.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/result.cpp.o"
+  "CMakeFiles/nagano_common.dir/result.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/rng.cpp.o"
+  "CMakeFiles/nagano_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/stats.cpp.o"
+  "CMakeFiles/nagano_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nagano_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/nagano_common.dir/thread_pool.cpp.o.d"
+  "libnagano_common.a"
+  "libnagano_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

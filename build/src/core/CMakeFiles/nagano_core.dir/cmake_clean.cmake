@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_core.dir/serving_site.cpp.o"
+  "CMakeFiles/nagano_core.dir/serving_site.cpp.o.d"
+  "libnagano_core.a"
+  "libnagano_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnagano_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_db.dir/database.cpp.o"
+  "CMakeFiles/nagano_db.dir/database.cpp.o.d"
+  "libnagano_db.a"
+  "libnagano_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

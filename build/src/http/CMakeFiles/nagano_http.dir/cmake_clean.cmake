@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_http.dir/client.cpp.o"
+  "CMakeFiles/nagano_http.dir/client.cpp.o.d"
+  "CMakeFiles/nagano_http.dir/message.cpp.o"
+  "CMakeFiles/nagano_http.dir/message.cpp.o.d"
+  "CMakeFiles/nagano_http.dir/server.cpp.o"
+  "CMakeFiles/nagano_http.dir/server.cpp.o.d"
+  "libnagano_http.a"
+  "libnagano_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_odg.dir/dup.cpp.o"
+  "CMakeFiles/nagano_odg.dir/dup.cpp.o.d"
+  "CMakeFiles/nagano_odg.dir/graph.cpp.o"
+  "CMakeFiles/nagano_odg.dir/graph.cpp.o.d"
+  "libnagano_odg.a"
+  "libnagano_odg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_odg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

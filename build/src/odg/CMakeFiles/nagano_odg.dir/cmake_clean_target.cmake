@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnagano_odg.a"
+)

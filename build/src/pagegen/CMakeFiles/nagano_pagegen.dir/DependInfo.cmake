@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagegen/olympic.cpp" "src/pagegen/CMakeFiles/nagano_pagegen.dir/olympic.cpp.o" "gcc" "src/pagegen/CMakeFiles/nagano_pagegen.dir/olympic.cpp.o.d"
+  "/root/repo/src/pagegen/renderer.cpp" "src/pagegen/CMakeFiles/nagano_pagegen.dir/renderer.cpp.o" "gcc" "src/pagegen/CMakeFiles/nagano_pagegen.dir/renderer.cpp.o.d"
+  "/root/repo/src/pagegen/template.cpp" "src/pagegen/CMakeFiles/nagano_pagegen.dir/template.cpp.o" "gcc" "src/pagegen/CMakeFiles/nagano_pagegen.dir/template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nagano_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/odg/CMakeFiles/nagano_odg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nagano_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/nagano_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

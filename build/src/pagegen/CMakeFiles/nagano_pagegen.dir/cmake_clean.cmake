@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_pagegen.dir/olympic.cpp.o"
+  "CMakeFiles/nagano_pagegen.dir/olympic.cpp.o.d"
+  "CMakeFiles/nagano_pagegen.dir/renderer.cpp.o"
+  "CMakeFiles/nagano_pagegen.dir/renderer.cpp.o.d"
+  "CMakeFiles/nagano_pagegen.dir/template.cpp.o"
+  "CMakeFiles/nagano_pagegen.dir/template.cpp.o.d"
+  "libnagano_pagegen.a"
+  "libnagano_pagegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_pagegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nagano_pagegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_repl.dir/replication.cpp.o"
+  "CMakeFiles/nagano_repl.dir/replication.cpp.o.d"
+  "libnagano_repl.a"
+  "libnagano_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_server.dir/access_log.cpp.o"
+  "CMakeFiles/nagano_server.dir/access_log.cpp.o.d"
+  "CMakeFiles/nagano_server.dir/serving.cpp.o"
+  "CMakeFiles/nagano_server.dir/serving.cpp.o.d"
+  "libnagano_server.a"
+  "libnagano_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_trigger.dir/trigger_monitor.cpp.o"
+  "CMakeFiles/nagano_trigger.dir/trigger_monitor.cpp.o.d"
+  "libnagano_trigger.a"
+  "libnagano_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

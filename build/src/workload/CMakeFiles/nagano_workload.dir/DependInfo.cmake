@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/feed.cpp" "src/workload/CMakeFiles/nagano_workload.dir/feed.cpp.o" "gcc" "src/workload/CMakeFiles/nagano_workload.dir/feed.cpp.o.d"
+  "/root/repo/src/workload/navigation.cpp" "src/workload/CMakeFiles/nagano_workload.dir/navigation.cpp.o" "gcc" "src/workload/CMakeFiles/nagano_workload.dir/navigation.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/nagano_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/nagano_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/sampler.cpp" "src/workload/CMakeFiles/nagano_workload.dir/sampler.cpp.o" "gcc" "src/workload/CMakeFiles/nagano_workload.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nagano_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/nagano_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagegen/CMakeFiles/nagano_pagegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/odg/CMakeFiles/nagano_odg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nagano_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

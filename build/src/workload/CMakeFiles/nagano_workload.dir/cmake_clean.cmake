@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagano_workload.dir/feed.cpp.o"
+  "CMakeFiles/nagano_workload.dir/feed.cpp.o.d"
+  "CMakeFiles/nagano_workload.dir/navigation.cpp.o"
+  "CMakeFiles/nagano_workload.dir/navigation.cpp.o.d"
+  "CMakeFiles/nagano_workload.dir/profiles.cpp.o"
+  "CMakeFiles/nagano_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/nagano_workload.dir/sampler.cpp.o"
+  "CMakeFiles/nagano_workload.dir/sampler.cpp.o.d"
+  "libnagano_workload.a"
+  "libnagano_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagano_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_log_test.dir/access_log_test.cpp.o"
+  "CMakeFiles/access_log_test.dir/access_log_test.cpp.o.d"
+  "access_log_test"
+  "access_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

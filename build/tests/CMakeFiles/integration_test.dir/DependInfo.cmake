@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nagano_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/nagano_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nagano_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nagano_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trigger/CMakeFiles/nagano_trigger.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/nagano_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/nagano_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagegen/CMakeFiles/nagano_pagegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/odg/CMakeFiles/nagano_odg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nagano_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/nagano_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nagano_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odg_property_test.dir/odg_property_test.cpp.o"
+  "CMakeFiles/odg_property_test.dir/odg_property_test.cpp.o.d"
+  "odg_property_test"
+  "odg_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

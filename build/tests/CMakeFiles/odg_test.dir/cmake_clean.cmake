@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odg_test.dir/odg_test.cpp.o"
+  "CMakeFiles/odg_test.dir/odg_test.cpp.o.d"
+  "odg_test"
+  "odg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympic_test.dir/olympic_test.cpp.o"
+  "CMakeFiles/olympic_test.dir/olympic_test.cpp.o.d"
+  "olympic_test"
+  "olympic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
