@@ -12,12 +12,19 @@
 //
 // Method: full-size synthetic site, prefetched; replay a day of the result
 // feed measuring (a) wall-clock commit -> cache-consistent latency per
-// update and (b) the DUP fan-out of event completions.
+// update, (b) the DUP fan-out of event completions, and (c) re-render
+// throughput of the parallel update-in-place pipeline at worker_threads
+// 1 / 2 / 8 on the same feed (final cache contents must be byte-identical
+// regardless of worker count). Emits BENCH_update_latency.json.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -27,9 +34,9 @@
 
 using namespace nagano;
 
-int main() {
-  bench::Header("FRESH", "update latency and fan-out");
+namespace {
 
+core::SiteOptions FullSite() {
   core::SiteOptions options;
   options.olympic.days = 16;
   options.olympic.num_sports = 10;
@@ -38,6 +45,74 @@ int main() {
   options.olympic.num_countries = 30;
   options.olympic.initial_news_articles = 40;
   options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+  return options;
+}
+
+uint64_t Fnv1a(const std::string& data, uint64_t hash) {
+  for (const unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+struct ScalingRun {
+  size_t workers = 0;
+  double replay_s = 0.0;
+  uint64_t renders = 0;        // update-in-place regenerations applied
+  double renders_per_s = 0.0;
+  trigger::TriggerStats stats;
+  size_t entries = 0;
+  uint64_t digest = 0;  // FNV-1a over the key-sorted final cache contents
+};
+
+// Replays the same deterministic feed day against a fresh prefetched site
+// with the given render-worker count, quiescing once at the end, and
+// digests the final cache so runs can be compared for byte-identity.
+std::optional<ScalingRun> RunScaling(size_t workers) {
+  core::SiteOptions options = FullSite();
+  options.trigger.worker_threads = workers;
+  auto site_or = core::ServingSite::Create(std::move(options));
+  if (!site_or.ok()) return std::nullopt;
+  auto& site = *site_or.value();
+  if (!site.PrefetchAll().ok()) return std::nullopt;
+  site.StartTrigger();
+
+  workload::FeedOptions feed_options;
+  feed_options.results_per_event = 25;
+  workload::ResultFeed feed(&site.db(), feed_options, 60);
+  const auto schedule = feed.BuildDaySchedule(1);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& update : schedule) {
+    if (!feed.Apply(update).ok()) return std::nullopt;
+  }
+  site.Quiesce();
+  const auto end = std::chrono::steady_clock::now();
+  site.StopTrigger();
+
+  ScalingRun run;
+  run.workers = workers;
+  run.replay_s = std::chrono::duration<double>(end - start).count();
+  run.stats = site.trigger_monitor().stats();
+  run.renders = run.stats.objects_updated;
+  run.renders_per_s =
+      run.replay_s > 0 ? static_cast<double>(run.renders) / run.replay_s : 0.0;
+  uint64_t digest = 14695981039346656037ull;
+  for (const auto& [key, object] : site.cache().Snapshot()) {
+    digest = Fnv1a(key, digest);
+    digest = Fnv1a(object->body, digest);
+    ++run.entries;
+  }
+  run.digest = digest;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("FRESH", "update latency and fan-out");
+
+  core::SiteOptions options = FullSite();
 
   auto site_or = core::ServingSite::Create(std::move(options));
   if (!site_or.ok()) {
@@ -107,6 +182,17 @@ int main() {
              static_cast<unsigned long long>(tstats.objects_updated),
              static_cast<unsigned long long>(tstats.objects_invalidated));
 
+  bench::Section("pipeline stage counters (per-update quiesce, 1 worker)");
+  bench::Row("batches=%llu coalesced=%llu render_jobs=%llu attempted=%llu "
+             "skipped=%llu",
+             static_cast<unsigned long long>(tstats.batches),
+             static_cast<unsigned long long>(tstats.changes_coalesced),
+             static_cast<unsigned long long>(tstats.render_jobs),
+             static_cast<unsigned long long>(tstats.renders_attempted),
+             static_cast<unsigned long long>(tstats.objects_skipped));
+  bench::Row("batch apply: %s ms", tstats.batch_apply_ms.Summary().c_str());
+  bench::Row("batch levels: %s", tstats.batch_levels.Summary().c_str());
+
   bench::Section("paper comparison");
   bench::Compare("max update latency (60 s bound)", 60'000.0,
                  latency_ms.max(), "ms");
@@ -117,5 +203,77 @@ int main() {
                  "pages (max; en+ja variants, French news-only)");
   bench::CompareText("one event changes >100 objects", "yes",
                      event_fanout.max() >= 100.0 ? "yes" : "no");
+
+  // --- parallel pipeline scaling: same feed day, workers 1 / 2 / 8 --------
+  bench::Section("parallel re-render pipeline (full day, quiesce once)");
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  bench::Row("hardware threads available: %u%s", cores,
+             cores == 1 ? "  (single-CPU host: parallel workers cannot beat "
+                          "sequential; this run bounds scheduling overhead)"
+                        : "");
+  std::vector<ScalingRun> runs;
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    auto run = RunScaling(workers);
+    if (!run) {
+      std::fprintf(stderr, "scaling run (workers=%zu) failed\n", workers);
+      return 1;
+    }
+    bench::Row("workers=%zu  %7.2f s  %8llu renders  %9.0f renders/s  "
+               "jobs=%llu coalesced=%llu levels(mean)=%.1f",
+               run->workers, run->replay_s,
+               static_cast<unsigned long long>(run->renders),
+               run->renders_per_s,
+               static_cast<unsigned long long>(run->stats.render_jobs),
+               static_cast<unsigned long long>(run->stats.changes_coalesced),
+               run->stats.batch_levels.mean());
+    runs.push_back(*run);
+  }
+  const ScalingRun& base = runs.front();
+  const ScalingRun& wide = runs.back();
+  const double speedup =
+      base.renders_per_s > 0 ? wide.renders_per_s / base.renders_per_s : 0.0;
+  const bool identical = std::all_of(
+      runs.begin(), runs.end(), [&](const ScalingRun& r) {
+        return r.digest == base.digest && r.entries == base.entries;
+      });
+  bench::Compare("re-render speedup, 8 vs 1 workers", 3.0, speedup,
+                 cores >= 4 ? "x (target >= 3x)"
+                            : "x (target >= 3x needs >= 4 cores; see row "
+                              "above for this host)");
+  bench::CompareText("final cache byte-identical across runs", "yes",
+                     identical ? "yes" : "no");
+
+  // Machine-readable artifact consumed by EXPERIMENTS.md.
+  std::ofstream json("BENCH_update_latency.json");
+  json << "{\n"
+       << "  \"bench\": \"update_latency\",\n"
+       << "  \"hardware_threads\": " << cores << ",\n"
+       << "  \"latency_ms\": {\"p50\": " << latency_ms.Percentile(0.5)
+       << ", \"p99\": " << latency_ms.Percentile(0.99)
+       << ", \"max\": " << latency_ms.max() << "},\n"
+       << "  \"fanout\": {\"mean\": " << event_fanout.mean()
+       << ", \"max\": " << event_fanout.max() << "},\n"
+       << "  \"scaling\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScalingRun& r = runs[i];
+    json << "    {\"workers\": " << r.workers << ", \"replay_s\": "
+         << r.replay_s << ", \"renders\": " << r.renders
+         << ", \"renders_per_s\": " << r.renders_per_s
+         << ", \"render_jobs\": " << r.stats.render_jobs
+         << ", \"changes_coalesced\": " << r.stats.changes_coalesced
+         << ", \"batches\": " << r.stats.batches
+         << ", \"levels_mean\": " << r.stats.batch_levels.mean()
+         << ", \"entries\": " << r.entries
+         << ", \"digest\": \"" << std::hex << r.digest << std::dec << "\"}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"speedup_8v1\": " << speedup << ",\n"
+       << "  \"identical_contents\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  json.close();
+  bench::Row("wrote BENCH_update_latency.json");
+
+  if (!identical) return 1;
   return 0;
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI matrix driver: plain build + full suite, ASan/UBSan + full suite,
+# TSan + the `stress`-labelled concurrency suites.
+#
+#   ./ci.sh            # run the whole matrix
+#   ./ci.sh plain      # run a single leg: plain | asan | tsan
+#
+# Each leg configures its own build tree (build-ci-*) so the matrices never
+# contaminate each other or the developer's ./build.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_leg() {
+  local leg="$1" sanitize="$2" ctest_args="$3"
+  local tree="build-ci-${leg}"
+  echo "=== [${leg}] configure (${sanitize:-no sanitizer}) ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="${sanitize}" > /dev/null
+  echo "=== [${leg}] build ==="
+  cmake --build "${tree}" -j "${JOBS}" -- -k > /dev/null
+  echo "=== [${leg}] ctest ${ctest_args} ==="
+  # shellcheck disable=SC2086
+  (cd "${tree}" && ctest --output-on-failure -j "${JOBS}" ${ctest_args})
+  echo "=== [${leg}] OK ==="
+}
+
+leg_plain() { run_leg plain "" ""; }
+leg_asan()  { run_leg asan "address,undefined" ""; }
+# TSan halts the run on the first data race (halt_on_error) so a race can
+# never scroll by as a warning in a passing job.
+leg_tsan()  { TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+              run_leg tsan "thread" "-L stress"; }
+
+case "${1:-all}" in
+  plain) leg_plain ;;
+  asan)  leg_asan ;;
+  tsan)  leg_tsan ;;
+  all)   leg_plain; leg_asan; leg_tsan ;;
+  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "ci.sh: all requested legs passed"

@@ -16,6 +16,15 @@ void CacheFleet::PutAll(std::string_view key, const std::string& body) {
   for (auto& node : nodes_) node->Put(key, body);
 }
 
+size_t CacheFleet::UpdateInPlaceAll(std::string_view key,
+                                    const std::string& body) {
+  size_t updated = 0;
+  for (auto& node : nodes_) {
+    updated += node->UpdateInPlace(key, body) != 0;
+  }
+  return updated;
+}
+
 size_t CacheFleet::InvalidateAll(std::string_view key) {
   size_t held = 0;
   for (auto& node : nodes_) held += node->Invalidate(key);
@@ -53,16 +62,18 @@ CacheStats CacheFleet::TotalStats() const {
 
 bool CacheFleet::AllNodesIdentical() const {
   if (nodes_.size() < 2) return true;
-  // Compare every node against node 0: same entry count and, for every key
-  // we can observe via the first node's content, identical bodies. Since
-  // ObjectCache has no iteration API (the serving path never needs one),
-  // equality is checked by size plus byte totals plus spot agreement via
-  // the distribution log — size/bytes equality across nodes is the
-  // invariant distribution maintains.
-  const CacheStats first = nodes_[0]->stats();
+  // Compare every node's full contents against node 0 — the strong form of
+  // the distribution invariant: same key set, byte-identical bodies.
+  const auto reference = nodes_[0]->Snapshot();
   for (size_t i = 1; i < nodes_.size(); ++i) {
-    const CacheStats s = nodes_[i]->stats();
-    if (s.entries != first.entries || s.bytes != first.bytes) return false;
+    const auto other = nodes_[i]->Snapshot();
+    if (other.size() != reference.size()) return false;
+    for (size_t k = 0; k < reference.size(); ++k) {
+      if (other[k].first != reference[k].first ||
+          other[k].second->body != reference[k].second->body) {
+        return false;
+      }
+    }
   }
   return true;
 }

@@ -32,6 +32,10 @@ class CacheFleet {
   // --- distribution primitives (the trigger monitor's push path) ---------
   // Stores `body` in every node cache (update-in-place everywhere).
   void PutAll(std::string_view key, const std::string& body);
+  // Refreshes `key` only on nodes that already hold it; returns how many
+  // nodes were updated. The trigger monitor's re-render path uses this so a
+  // push racing a node-local drop cannot resurrect the entry.
+  size_t UpdateInPlaceAll(std::string_view key, const std::string& body);
   // Invalidates `key` everywhere; returns how many nodes held it.
   size_t InvalidateAll(std::string_view key);
   // Bulk prefix invalidation everywhere; returns total entries dropped.
@@ -43,6 +47,8 @@ class CacheFleet {
   CacheStats TotalStats() const;
   // Every node holds exactly the same key set with identical bodies —
   // the consistency invariant the distribution path maintains. O(n·m).
+  // Meaningful at quiescence; mid-distribution it may observe a push that
+  // reached some nodes but not yet others.
   bool AllNodesIdentical() const;
 
  private:

@@ -81,6 +81,30 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
   return version;
 }
 
+uint64_t ObjectCache::UpdateInPlace(std::string_view key, std::string body) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) return 0;
+
+  shard.bytes -= EntryFootprint(it->first, *it->second.object);
+  auto obj = std::make_shared<CachedObject>();
+  obj->body = std::move(body);
+  obj->version = it->second.object->version + 1;
+  obj->stored_at = clock_->Now();
+  const uint64_t version = obj->version;
+  shard.bytes += EntryFootprint(it->first, *obj);
+  it->second.object = std::move(obj);
+  it->second.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.updates;
+
+  if (capacity_bytes_ != 0) {
+    // May evict `it` itself when the grown body blows the budget.
+    EvictLocked(shard, capacity_bytes_ / shards_.size());
+  }
+  return version;
+}
+
 void ObjectCache::Pin(std::string_view key, bool pinned) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -169,5 +193,21 @@ CacheStats ObjectCache::stats() const {
 
 size_t ObjectCache::size() const { return stats().entries; }
 size_t ObjectCache::bytes() const { return stats().bytes; }
+
+std::vector<std::pair<std::string, std::shared_ptr<const CachedObject>>>
+ObjectCache::Snapshot() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedObject>>> out;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.reserve(out.size() + shard.map.size());
+    for (const auto& [key, entry] : shard.map) {
+      out.emplace_back(key, entry.object);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
 
 }  // namespace nagano::cache

@@ -76,6 +76,12 @@ class ObjectCache {
   // current version automatically; returns the stored version.
   uint64_t Put(std::string_view key, std::string body);
 
+  // Update-in-place only if `key` is present; returns the new version, or 0
+  // without storing when the key is absent. The trigger monitor's
+  // concurrent re-render path uses this so a regeneration racing an
+  // invalidation can never resurrect a dropped entry.
+  uint64_t UpdateInPlace(std::string_view key, std::string body);
+
   // Pinned entries are never evicted by the LRU (the paper's hot pages,
   // which were "never invalidated from the cache").
   void Pin(std::string_view key, bool pinned);
@@ -93,6 +99,13 @@ class ObjectCache {
   CacheStats stats() const;
   size_t size() const;
   size_t bytes() const;
+
+  // Key-sorted (key, object) snapshot across all shards. Shards are locked
+  // one at a time, so the snapshot is per-shard consistent — call at
+  // quiescence for an exact image. Used by the consistency test suites and
+  // CacheFleet::AllNodesIdentical.
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedObject>>>
+  Snapshot() const;
 
  private:
   struct Entry {

@@ -1,12 +1,18 @@
 #include "common/intern.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace nagano {
 
 InternId StringInterner::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(s);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(s);  // re-check: raced with another interner
   if (it != index_.end()) return it->second;
   const auto id = static_cast<InternId>(storage_.size());
   storage_.emplace_back(s);
@@ -15,19 +21,19 @@ InternId StringInterner::Intern(std::string_view s) {
 }
 
 InternId StringInterner::Lookup(std::string_view s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   auto it = index_.find(s);
   return it == index_.end() ? kInvalidInternId : it->second;
 }
 
 std::string_view StringInterner::Name(InternId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   assert(id < storage_.size());
   return storage_[id];
 }
 
 size_t StringInterner::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   return storage_.size();
 }
 

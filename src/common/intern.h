@@ -5,7 +5,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,7 +31,9 @@ class StringInterner {
   size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
+  // Reader/writer: lookups far outnumber first-time interns once the site
+  // is built, and the re-render path resolves every name through here.
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::string_view, InternId> index_;
   std::deque<std::string> storage_;
 };

@@ -47,6 +47,9 @@ class BlockingQueue {
     return item;
   }
 
+  // Non-blocking. Still drains remaining items after Close() — consumers
+  // relying on drain-then-join shutdown (ThreadPool, the trigger monitor
+  // dispatcher) keep popping until the queue is actually empty.
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (items_.empty()) return std::nullopt;

@@ -32,6 +32,11 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::Shutdown() {
+  // Drain-then-join: Close() lets workers finish everything already queued
+  // before Pop() returns nullopt, so no submitted task is ever dropped.
+  // The lock makes concurrent Shutdown() calls (destructor racing an
+  // explicit call) safe — join() on an already-joined thread is UB.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
   queue_.Close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -40,7 +45,13 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::WorkerLoop() {
   while (auto task = queue_.Pop()) {
-    (*task)();
+    try {
+      (*task)();
+    } catch (...) {
+      // A throwing task must still count as completed or Wait() would hang
+      // and the worker thread would terminate the process.
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
     completed_.fetch_add(1, std::memory_order_acq_rel);
     {
       // Pair with Wait()'s predicate re-check.

@@ -102,6 +102,49 @@ Result<size_t> ServingSite::PrefetchAll() {
   return cached;
 }
 
+void ServingSite::Quiesce() {
+  // Capture the seqno before waiting: everything committed before this
+  // point is guaranteed applied once the trigger quiesces. Later commits
+  // may also land, but this is the bound we can promise.
+  const uint64_t committed = db_->LastSeqno();
+  trigger_->Quiesce();
+  uint64_t prev = last_quiesced_seqno_.load(std::memory_order_relaxed);
+  while (prev < committed && !last_quiesced_seqno_.compare_exchange_weak(
+                                 prev, committed, std::memory_order_release)) {
+  }
+}
+
+Result<size_t> ServingSite::VerifyCacheConsistency() {
+  size_t checked = 0;
+  auto verify_one = [&](const std::string& key,
+                        const std::string& cached_body) -> Status {
+    if (!renderer_->CanGenerate(key)) return Status::Ok();  // foreign entry
+    auto fresh = renderer_->RenderOnly(key);
+    if (!fresh.ok()) return fresh.status();
+    if (fresh.value() != cached_body) {
+      return InternalError("stale cache entry: " + key);
+    }
+    ++checked;
+    return Status::Ok();
+  };
+  // A page's fresh render splices fragments from the cache, so a stale
+  // fragment could mask itself in a page comparison — but the fragment's
+  // own entry is compared against a direct render too, so any staleness
+  // surfaces somewhere in the sweep.
+  for (const auto& [key, object] : cache_->Snapshot()) {
+    if (Status s = verify_one(key, object->body); !s.ok()) return s;
+  }
+  if (fleet_ != nullptr) {
+    if (!fleet_->AllNodesIdentical()) {
+      return InternalError("fleet nodes diverged");
+    }
+    for (const auto& [key, object] : fleet_->node(0).Snapshot()) {
+      if (Status s = verify_one(key, object->body); !s.ok()) return s;
+    }
+  }
+  return checked;
+}
+
 Result<double> ServingSite::MeasureUpdateLatencyMs(int64_t event_id,
                                                    int64_t rank,
                                                    int64_t athlete_id,

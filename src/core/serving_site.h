@@ -9,6 +9,7 @@
 // over real HTTP.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -62,8 +63,24 @@ class ServingSite {
   // --- lifecycle -----------------------------------------------------------
   void StartTrigger() { trigger_->Start(); }
   void StopTrigger() { trigger_->Stop(); }
-  // Wait for every committed change to be reflected in the cache.
-  void Quiesce() { trigger_->Quiesce(); }
+  // Wait for every committed change to be reflected in the cache. On
+  // return, last_quiesced_seqno() covers at least every change committed
+  // before the call.
+  void Quiesce();
+
+  // The highest change seqno known to be fully applied to the cache —
+  // the freshness bound of DESIGN §6 ("after quiescence no cache read is
+  // older than the last committed DB change").
+  uint64_t last_quiesced_seqno() const {
+    return last_quiesced_seqno_.load(std::memory_order_acquire);
+  }
+
+  // Verifies the §6 invariant directly: every cached object (composition
+  // cache, plus every fleet node when in fleet mode) is byte-identical to a
+  // fresh render against current database state. Returns the number of
+  // objects checked, or an error naming the first stale object. Call at
+  // quiescence; concurrent feed activity makes "fresh" a moving target.
+  Result<size_t> VerifyCacheConsistency();
 
   // Prefetch (§2): render and cache every fragment then every page, so the
   // steady state starts warm — "such pages were never invalidated from the
@@ -120,6 +137,7 @@ class ServingSite {
  private:
   explicit ServingSite(SiteOptions options);
 
+  std::atomic<uint64_t> last_quiesced_seqno_{0};
   SiteOptions options_;
   const Clock* clock_;
   std::unique_ptr<db::Database> db_;

@@ -128,7 +128,8 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
           emitted[e.to] = 1;
           ++result.visited;
           if (IsCacheable(kinds[e.to]) && 1.0 > options.obsolescence_threshold) {
-            result.affected.push_back(AffectedObject{e.to, 1.0});
+            // Bipartite: every affected object is a sink — one stage.
+            result.affected.push_back(AffectedObject{e.to, 1.0, 0});
           }
         }
       }
@@ -136,6 +137,7 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
                 [](const AffectedObject& a, const AffectedObject& b) {
                   return a.id < b.id;
                 });
+      result.num_levels = result.affected.empty() ? 0 : 1;
       return result;
     }
 
@@ -175,8 +177,24 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
 
     std::vector<double> obs(n, 0.0);
     std::vector<double> comp_score(num_comps, 0.0);
+    // Longest-path stage of each component within the closure; members of a
+    // component share it. Computed alongside obsolescence since components
+    // already stream by in topological order.
+    std::vector<uint32_t> comp_level(num_comps, 0);
+    std::vector<uint32_t> level(n, 0);
 
     for (uint32_t ci = num_comps; ci-- > 0;) {
+      uint32_t stage = 0;
+      for (const NodeId v : members[ci]) {
+        for (const Edge& e : in[v]) {
+          if (reachable[e.to] && scc.comp(e.to) != ci) {
+            stage = std::max(stage, comp_level[scc.comp(e.to)] + 1);
+          }
+        }
+      }
+      comp_level[ci] = stage;
+      for (const NodeId v : members[ci]) level[v] = stage;
+
       double score = 0.0;
       for (const NodeId v : members[ci]) {
         if (is_changed[v]) {
@@ -210,9 +228,25 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
         if (is_changed[v]) continue;
         if (!IsCacheable(kinds[v])) continue;
         if (obs[v] > options.obsolescence_threshold) {
-          result.affected.push_back(AffectedObject{v, obs[v]});
+          result.affected.push_back(AffectedObject{v, obs[v], level[v]});
         }
       }
+    }
+    // Compact the emitted levels to a dense 0..k range: intermediate
+    // underlying-data hops inflate the raw longest-path values, and each
+    // distinct level costs the re-render pipeline a barrier.
+    if (!result.affected.empty()) {
+      std::vector<uint32_t> seen;
+      seen.reserve(result.affected.size());
+      for (const auto& a : result.affected) seen.push_back(a.level);
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      for (auto& a : result.affected) {
+        a.level = static_cast<uint32_t>(
+            std::lower_bound(seen.begin(), seen.end(), a.level) -
+            seen.begin());
+      }
+      result.num_levels = static_cast<uint32_t>(seen.size());
     }
     return result;
   });

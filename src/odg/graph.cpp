@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace nagano::odg {
 namespace {
@@ -16,6 +17,17 @@ NodeKind WidenKind(NodeKind a, NodeKind b) {
 
 NodeId ObjectDependenceGraph::EnsureNode(std::string_view node_name,
                                          NodeKind node_kind) {
+  {
+    // Steady-state fast path: the node already exists with a kind at least
+    // as wide as requested. Re-renders resolve every dependency through
+    // here, so parallel workers must not serialize on the write lock.
+    std::shared_lock lock(mutex_);
+    const InternId existing = names_.Lookup(node_name);
+    if (existing != kInvalidInternId && existing < kinds_.size() &&
+        WidenKind(kinds_[existing], node_kind) == kinds_[existing]) {
+      return existing;
+    }
+  }
   std::unique_lock lock(mutex_);
   const InternId id = names_.Intern(node_name);
   if (id >= kinds_.size()) {
@@ -103,6 +115,65 @@ void ObjectDependenceGraph::ClearInEdges(NodeId of) {
   }
   if (!in_[of].empty()) ++version_;
   in_[of].clear();
+}
+
+bool ObjectDependenceGraph::InEdgesEqualLocked(
+    NodeId of, const std::vector<Edge>& sorted_sources) const {
+  const auto& current = in_[of];
+  if (current.size() != sorted_sources.size()) return false;
+  std::vector<Edge> cur = current;
+  std::sort(cur.begin(), cur.end(),
+            [](const Edge& a, const Edge& b) { return a.to < b.to; });
+  for (size_t i = 0; i < cur.size(); ++i) {
+    if (cur[i].to != sorted_sources[i].to ||
+        cur[i].weight != sorted_sources[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ObjectDependenceGraph::SetInEdges(NodeId of, std::vector<Edge> sources) {
+  // Dedup keeping the last occurrence's weight; drop self-edges and
+  // non-positive weights. Dependency lists are tens of entries, so the
+  // quadratic scan beats hashing.
+  std::vector<Edge> desired;
+  desired.reserve(sources.size());
+  for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+    if (it->to == of || it->weight <= 0.0) continue;
+    const NodeId src = it->to;
+    const bool seen = std::any_of(
+        desired.begin(), desired.end(),
+        [src](const Edge& e) { return e.to == src; });
+    if (!seen) desired.push_back(*it);
+  }
+  std::sort(desired.begin(), desired.end(),
+            [](const Edge& a, const Edge& b) { return a.to < b.to; });
+
+  {
+    std::shared_lock lock(mutex_);
+    if (of >= kinds_.size()) return;
+    if (InEdgesEqualLocked(of, desired)) return;
+  }
+
+  std::unique_lock lock(mutex_);
+  if (of >= kinds_.size()) return;
+  if (InEdgesEqualLocked(of, desired)) return;  // raced with an equal writer
+  for (const Edge& e : in_[of]) {
+    auto& edges = out_[e.to];
+    edges.erase(std::find_if(edges.begin(), edges.end(),
+                             [of](const Edge& o) { return o.to == of; }));
+    --edge_count_;
+  }
+  in_[of].clear();
+  for (const Edge& e : desired) {
+    if (e.to >= kinds_.size()) continue;
+    out_[e.to].push_back(Edge{of, e.weight});
+    in_[of].push_back(e);
+    ++edge_count_;
+    if (e.weight != 1.0) has_custom_weights_ = true;
+  }
+  ++version_;
 }
 
 bool ObjectDependenceGraph::HasEdgeLocked(NodeId from, NodeId to) const {

@@ -70,6 +70,14 @@ class ObjectDependenceGraph {
   // the current template structure.
   void ClearInEdges(NodeId of);
 
+  // Replaces the in-edge set of `of` with `sources` (Edge::to = source id;
+  // among duplicate sources the last weight wins, matching repeated
+  // AddDependence calls). When the requested set already matches, this
+  // returns after a shared-lock comparison without writing — re-renders
+  // that leave a page's dependencies unchanged (the steady state of the
+  // parallel re-render pipeline) then never serialize on the write lock.
+  void SetInEdges(NodeId of, std::vector<Edge> sources);
+
   bool HasEdge(NodeId from, NodeId to) const;
 
   NodeKind kind(NodeId id) const;
@@ -99,6 +107,8 @@ class ObjectDependenceGraph {
  private:
   // Unlocked internals; callers hold mutex_.
   bool HasEdgeLocked(NodeId from, NodeId to) const;
+  // `sorted_sources` must be sorted by Edge::to.
+  bool InEdgesEqualLocked(NodeId of, const std::vector<Edge>& sorted_sources) const;
 
   mutable std::shared_mutex mutex_;
   StringInterner names_;

@@ -13,17 +13,19 @@ PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
 }
 
 void PageRenderer::RegisterExact(std::string name, PageGenerator generator) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(registry_mutex_);
   exact_[std::move(name)] = std::move(generator);
 }
 
 void PageRenderer::RegisterPrefix(std::string prefix, PageGenerator generator) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(registry_mutex_);
   prefixes_[std::move(prefix)] = std::move(generator);
 }
 
 const PageGenerator* PageRenderer::FindGenerator(std::string_view page) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map node pointers are stable and generators are never erased, so
+  // the returned pointer outlives the lock.
+  std::shared_lock lock(registry_mutex_);
   if (auto it = exact_.find(std::string(page)); it != exact_.end()) {
     return &it->second;
   }
@@ -90,43 +92,44 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
   state.stack.pop_back();
 
   if (!body.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.generator_errors;
+    generator_errors_.fetch_add(1, std::memory_order_relaxed);
     return body;
   }
 
   // Sync the ODG: this page's in-edges become exactly what this render
   // observed. Kind widening in EnsureNode turns a page that others embed
-  // into kBoth automatically.
+  // into kBoth automatically. SetInEdges short-circuits on the read lock
+  // when the dependencies are unchanged — the steady state of re-renders —
+  // so parallel workers do not serialize on the graph's write lock.
   const odg::NodeId page_node =
       graph_->EnsureNode(page_name, odg::NodeKind::kObject);
-  graph_->ClearInEdges(page_node);
+  std::vector<odg::Edge> sources;
+  sources.reserve(recorder.data_deps().size() + fragments_used.size());
   for (const auto& [dep, weight] : recorder.data_deps()) {
-    const odg::NodeId data_node =
-        graph_->EnsureNode(dep, odg::NodeKind::kUnderlyingData);
-    (void)graph_->AddDependence(data_node, page_node, weight);
+    sources.push_back(odg::Edge{
+        graph_->EnsureNode(dep, odg::NodeKind::kUnderlyingData), weight});
   }
   for (const std::string& frag : fragments_used) {
-    const odg::NodeId frag_node =
-        graph_->EnsureNode(frag, odg::NodeKind::kBoth);
-    (void)graph_->AddDependence(frag_node, page_node);
+    sources.push_back(
+        odg::Edge{graph_->EnsureNode(frag, odg::NodeKind::kBoth), 1.0});
   }
+  graph_->SetInEdges(page_node, std::move(sources));
 
   if (store) {
     cache_->Put(page_name, body.value());
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.pages_rendered;
-    stats_.fragment_cache_hits += fragment_hits;
-  }
+  pages_rendered_.fetch_add(1, std::memory_order_relaxed);
+  fragment_cache_hits_.fetch_add(fragment_hits, std::memory_order_relaxed);
   return body;
 }
 
 RendererStats PageRenderer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  RendererStats out;
+  out.pages_rendered = pages_rendered_.load(std::memory_order_relaxed);
+  out.fragment_cache_hits = fragment_cache_hits_.load(std::memory_order_relaxed);
+  out.generator_errors = generator_errors_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace nagano::pagegen

@@ -10,10 +10,11 @@
 // what a page actually contains.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,10 +100,18 @@ class PageRenderer {
   odg::ObjectDependenceGraph* graph_;
   cache::ObjectCache* cache_;
 
-  mutable std::mutex mutex_;  // guards registries and stats
+  // Registration happens at site construction; every render takes the
+  // shared side, so the trigger monitor's parallel re-render workers never
+  // serialize on generator lookup.
+  mutable std::shared_mutex registry_mutex_;
   std::map<std::string, PageGenerator> exact_;
   std::map<std::string, PageGenerator> prefixes_;
-  RendererStats stats_;
+
+  // Atomics, not a mutex: stats are bumped on every render and a shared
+  // counter lock would re-serialize the parallel re-render workers.
+  std::atomic<uint64_t> pages_rendered_{0};
+  std::atomic<uint64_t> fragment_cache_hits_{0};
+  std::atomic<uint64_t> generator_errors_{0};
 };
 
 }  // namespace nagano::pagegen

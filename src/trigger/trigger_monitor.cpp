@@ -63,13 +63,26 @@ void TriggerMonitor::Start() {
       std::lock_guard<std::mutex> lock(mutex_);
       ++enqueued_;
     }
-    queue_.Push(change);
+    if (!queue_.Push(change)) {
+      // Raced with Stop(): the queue is closed and this change will never
+      // be processed. Roll the counter back, or a concurrent Quiesce()
+      // would wait forever on a change nobody is going to process.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --enqueued_;
+      }
+      quiesce_cv_.notify_all();
+    }
   });
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
 void TriggerMonitor::Stop() {
   if (!running_.exchange(false)) return;
+  // Drain-then-join: Close() stops new pushes but the dispatcher keeps
+  // popping until the queue is empty, so every change enqueued before Stop
+  // still reaches the cache. The pool shuts down only after the dispatcher
+  // has joined (it is the sole submitter), so no render job is dropped.
   db_->Unsubscribe(subscription_);
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
@@ -132,13 +145,20 @@ void TriggerMonitor::ProcessBatch(const std::vector<db::ChangeRecord>& batch) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.dup_runs;
+    if (batch.size() > 1) stats_.changes_coalesced += batch.size() - 1;
     stats_.fanout.Add(static_cast<double>(dup.affected.size()));
   }
 
+  const TimeNs apply_start = clock_->Now();
   if (options_.policy == CachePolicy::kDupUpdateInPlace) {
     ApplyUpdateInPlace(dup);
   } else {
     ApplyInvalidate(dup);
+  }
+  const double apply_ms = ToMillis(clock_->Now() - apply_start);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.batch_apply_ms.Add(std::max(0.0, apply_ms));
   }
 
   // Batch latency: oldest commit in the batch -> now.
@@ -150,10 +170,15 @@ void TriggerMonitor::ProcessBatch(const std::vector<db::ChangeRecord>& batch) {
 }
 
 void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
-  // dup.affected is in dependency order: fragments precede the pages that
-  // embed them, so a page regenerated later picks up the fresh fragment.
+  // dup.affected carries a topological level per object: objects sharing a
+  // level have no dependence path between them, so each level regenerates
+  // in parallel; levels run in ascending order with a barrier between them
+  // so a page always splices the already-refreshed fragments of earlier
+  // levels. Partitioning is deterministic — within a level objects are
+  // NodeId-sorted and carved into one contiguous chunk per worker — so a
+  // feed day produces the same render schedule at any worker count.
   enum class Outcome { kUpdated, kSkipped, kFailed };
-  std::atomic<uint64_t> updated{0}, failures{0};
+  std::atomic<uint64_t> updated{0}, failures{0}, skipped{0}, attempted{0};
 
   auto regenerate = [&](const odg::AffectedObject& obj) -> Outcome {
     const std::string name(graph_->name(obj.id));
@@ -162,6 +187,7 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
     const bool in_fleet =
         options_.fleet != nullptr && options_.fleet->ContainsAnywhere(name);
     if (!cache_->Contains(name) && !in_fleet) return Outcome::kSkipped;
+    attempted.fetch_add(1, std::memory_order_relaxed);
     auto body = renderer_->RenderAndCache(name);
     if (!body.ok()) return Outcome::kFailed;
     // Fig. 6 distribution: push the fresh copy to every serving node.
@@ -175,32 +201,48 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
       updated.fetch_add(1, std::memory_order_relaxed);
     } else if (outcome == Outcome::kFailed) {
       failures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      skipped.fetch_add(1, std::memory_order_relaxed);
     }
   };
 
+  uint64_t jobs = 0;
   if (pool_ == nullptr) {
     for (const auto& obj : dup.affected) tally(regenerate(obj));
   } else {
-    // Fragments (kBoth) sequentially in dependency order, then leaf
-    // objects on the pool. Leaves never feed other objects, so they are
-    // independent of one another.
-    std::vector<const odg::AffectedObject*> leaves;
-    for (const auto& obj : dup.affected) {
-      if (graph_->kind(obj.id) == odg::NodeKind::kBoth) {
-        tally(regenerate(obj));
-      } else {
-        leaves.push_back(&obj);
+    std::vector<std::vector<const odg::AffectedObject*>> levels(dup.num_levels);
+    for (const auto& obj : dup.affected) levels[obj.level].push_back(&obj);
+    const size_t workers = pool_->num_threads();
+    for (auto& level : levels) {
+      std::sort(level.begin(), level.end(),
+                [](const odg::AffectedObject* a, const odg::AffectedObject* b) {
+                  return a->id < b->id;
+                });
+      if (level.size() <= 1) {
+        // Not worth a pool round-trip.
+        for (const auto* obj : level) tally(regenerate(*obj));
+        continue;
       }
+      const size_t chunk = (level.size() + workers - 1) / workers;
+      for (size_t begin = 0; begin < level.size(); begin += chunk) {
+        const size_t end = std::min(begin + chunk, level.size());
+        auto job = [&, begin, end, &level_ref = level] {
+          for (size_t i = begin; i < end; ++i) tally(regenerate(*level_ref[i]));
+        };
+        ++jobs;
+        if (!pool_->Submit(job)) job();  // pool shut down: run inline
+      }
+      pool_->Wait();  // barrier: next level may embed this level's output
     }
-    for (const auto* obj : leaves) {
-      pool_->Submit([&, obj] { tally(regenerate(*obj)); });
-    }
-    pool_->Wait();
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.objects_updated += updated.load();
   stats_.render_failures += failures.load();
+  stats_.objects_skipped += skipped.load();
+  stats_.renders_attempted += attempted.load();
+  stats_.render_jobs += jobs;
+  stats_.batch_levels.Add(static_cast<double>(dup.num_levels));
 }
 
 void TriggerMonitor::ApplyInvalidate(const odg::DupResult& dup) {

@@ -57,8 +57,11 @@ struct TriggerOptions {
   CachePolicy policy = CachePolicy::kDupUpdateInPlace;
 
   // Render workers for the update-in-place policy. 1 = fully sequential.
-  // With more, fragments (kBoth vertices) still regenerate sequentially in
-  // dependency order; leaf objects then regenerate in parallel.
+  // With more, the affected set is partitioned by DUP topological level:
+  // objects sharing a level are mutually independent and regenerate in
+  // parallel (one contiguous, NodeId-ordered chunk per worker); levels run
+  // in ascending order with a barrier between them, so fragments are always
+  // fresh before the pages embedding them re-render.
   size_t worker_threads = 1;
 
   // Coalesce up to this many queued change records into one DUP run.
@@ -89,9 +92,16 @@ struct TriggerStats {
   uint64_t dup_runs = 0;
   uint64_t objects_updated = 0;      // update-in-place count
   uint64_t objects_invalidated = 0;
+  uint64_t objects_skipped = 0;      // affected but uncached (regenerate on demand)
   uint64_t render_failures = 0;
+  // --- parallel-pipeline stage counters -----------------------------------
+  uint64_t changes_coalesced = 0;    // changes that rode along in a multi-change batch
+  uint64_t render_jobs = 0;          // per-worker render jobs dispatched to the pool
+  uint64_t renders_attempted = 0;    // regenerations tried (updated + failed)
   Histogram update_latency_ms;       // commit -> cache consistent, per batch
   Histogram fanout;                  // affected objects per batch
+  Histogram batch_apply_ms;          // regenerate + distribute time per batch
+  Histogram batch_levels;            // topological stages per update-in-place batch
 };
 
 class TriggerMonitor {
