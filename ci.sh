@@ -4,6 +4,7 @@
 #
 #   ./ci.sh            # run the whole matrix
 #   ./ci.sh plain      # run a single leg: plain | asan | tsan
+#   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
 # contaminate each other or the developer's ./build.
@@ -27,6 +28,8 @@ run_leg() {
 }
 
 leg_plain() { run_leg plain "" ""; }
+# Shares the plain tree: a quick run warms the cache for a later full run.
+leg_quick() { run_leg plain "" "-L unit"; }
 leg_asan()  { run_leg asan "address,undefined" ""; }
 # TSan halts the run on the first data race (halt_on_error) so a race can
 # never scroll by as a warning in a passing job.
@@ -35,9 +38,10 @@ leg_tsan()  { TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 
 case "${1:-all}" in
   plain) leg_plain ;;
+  quick) leg_quick ;;
   asan)  leg_asan ;;
   tsan)  leg_tsan ;;
   all)   leg_plain; leg_asan; leg_tsan ;;
-  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   options.olympic.events_per_sport = 10;
   options.olympic.athletes_per_event = 12;
   options.olympic.num_countries = 24;
+  options.metrics.instance = "master";  // nagano_*{site="master"} on /metrics
   auto site_or = core::ServingSite::Create(std::move(options));
   if (!site_or.ok()) {
     std::fprintf(stderr, "create: %s\n", site_or.status().ToString().c_str());
@@ -51,13 +52,15 @@ int main(int argc, char** argv) {
 
   http::HttpServer::Options http_options;
   http_options.port = port;
+  http_options.metrics.instance = "master";
   server::HttpFrontEnd front(&site.page_server(), http_options);
+  front.EnableAdmin(&site.metrics_registry(), [&site] { return site.Health(); });
   if (Status s = front.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("serving http://127.0.0.1:%u/  (try /day/7, /medals, "
-              "/event/12, /athlete/3)\n",
+              "/event/12, /athlete/3 — admin: /metrics, /healthz, /statusz)\n",
               front.port());
 
   // Background scoring feed: a result every 300 ms.
@@ -95,6 +98,16 @@ int main(int argc, char** argv) {
   stop = true;
   feeder.join();
   site.Quiesce();
+
+  // Demo the admin surface over the wire.
+  if (auto health = client.Get("/healthz"); health.ok()) {
+    std::printf("GET /healthz -> %d %s", health.value().status,
+                health.value().body.c_str());
+  }
+  if (auto metrics = client.Get("/metrics"); metrics.ok()) {
+    std::printf("GET /metrics -> %d, %zu bytes of Prometheus exposition\n",
+                metrics.value().status, metrics.value().body.size());
+  }
 
   const auto serve = site.page_server().stats();
   const auto http_stats = front.http_stats();

@@ -7,7 +7,15 @@ namespace nagano::cache {
 CacheFleet::CacheFleet(size_t nodes, ObjectCache::Options base_options) {
   assert(nodes > 0);
   nodes_.reserve(nodes);
+  const std::string base_instance = base_options.metrics.instance;
   for (size_t i = 0; i < nodes; ++i) {
+    // Each node cache gets its own instance label ("<site>/node3", or
+    // auto-assigned when the base is anonymous) so per-node counters never
+    // alias in the shared registry.
+    if (!base_instance.empty()) {
+      base_options.metrics.instance =
+          base_instance + "/node" + std::to_string(i);
+    }
     nodes_.push_back(std::make_unique<ObjectCache>(base_options));
   }
 }

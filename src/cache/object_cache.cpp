@@ -19,6 +19,19 @@ ObjectCache::ObjectCache(Options options)
   const size_t n = std::max<size_t>(1, options.shards);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+
+  const auto scope = metrics::Scope::Resolve(options.metrics, "cache");
+  hits_ = scope.GetCounter("nagano_cache_hits_total", "cache lookups served");
+  misses_ = scope.GetCounter("nagano_cache_misses_total", "cache lookups missed");
+  inserts_ = scope.GetCounter("nagano_cache_inserts_total", "new entries stored");
+  updates_ = scope.GetCounter("nagano_cache_updates_in_place_total",
+                              "entries refreshed without invalidation");
+  invalidations_ =
+      scope.GetCounter("nagano_cache_invalidations_total", "entries dropped");
+  evictions_ =
+      scope.GetCounter("nagano_cache_evictions_total", "LRU evictions");
+  entries_gauge_ = scope.GetGauge("nagano_cache_entries", "resident entries");
+  bytes_gauge_ = scope.GetGauge("nagano_cache_bytes", "resident bytes");
 }
 
 ObjectCache::Shard& ObjectCache::ShardFor(std::string_view key) {
@@ -34,10 +47,10 @@ std::shared_ptr<const CachedObject> ObjectCache::Lookup(std::string_view key) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
   if (it == shard.map.end()) {
-    ++shard.misses;
+    misses_->Increment();
     return nullptr;
   }
-  ++shard.hits;
+  hits_->Increment();
   it->second.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
   return it->second.object;
 }
@@ -58,10 +71,13 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
   uint64_t version = 1;
   if (it != shard.map.end()) {
     version = it->second.object->version + 1;
-    shard.bytes -= EntryFootprint(k, *it->second.object);
-    ++shard.updates;
+    const size_t old_footprint = EntryFootprint(k, *it->second.object);
+    shard.bytes -= old_footprint;
+    bytes_gauge_->Add(-static_cast<double>(old_footprint));
+    updates_->Increment();
   } else {
-    ++shard.inserts;
+    inserts_->Increment();
+    entries_gauge_->Add(1.0);
   }
 
   auto obj = std::make_shared<CachedObject>();
@@ -74,6 +90,7 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
   entry.object = std::move(obj);
   entry.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
   shard.bytes += footprint;
+  bytes_gauge_->Add(static_cast<double>(footprint));
 
   if (capacity_bytes_ != 0) {
     EvictLocked(shard, capacity_bytes_ / shards_.size());
@@ -87,16 +104,20 @@ uint64_t ObjectCache::UpdateInPlace(std::string_view key, std::string body) {
   auto it = shard.map.find(std::string(key));
   if (it == shard.map.end()) return 0;
 
-  shard.bytes -= EntryFootprint(it->first, *it->second.object);
+  const size_t old_footprint = EntryFootprint(it->first, *it->second.object);
+  shard.bytes -= old_footprint;
   auto obj = std::make_shared<CachedObject>();
   obj->body = std::move(body);
   obj->version = it->second.object->version + 1;
   obj->stored_at = clock_->Now();
   const uint64_t version = obj->version;
-  shard.bytes += EntryFootprint(it->first, *obj);
+  const size_t new_footprint = EntryFootprint(it->first, *obj);
+  shard.bytes += new_footprint;
+  bytes_gauge_->Add(static_cast<double>(new_footprint) -
+                    static_cast<double>(old_footprint));
   it->second.object = std::move(obj);
   it->second.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
-  ++shard.updates;
+  updates_->Increment();
 
   if (capacity_bytes_ != 0) {
     // May evict `it` itself when the grown body blows the budget.
@@ -117,9 +138,12 @@ bool ObjectCache::Invalidate(std::string_view key) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
   if (it == shard.map.end()) return false;
-  shard.bytes -= EntryFootprint(it->first, *it->second.object);
+  const size_t footprint = EntryFootprint(it->first, *it->second.object);
+  shard.bytes -= footprint;
   shard.map.erase(it);
-  ++shard.invalidations;
+  invalidations_->Increment();
+  entries_gauge_->Add(-1.0);
+  bytes_gauge_->Add(-static_cast<double>(footprint));
   return true;
 }
 
@@ -130,9 +154,12 @@ size_t ObjectCache::InvalidatePrefix(std::string_view prefix) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.map.begin(); it != shard.map.end();) {
       if (it->first.starts_with(prefix)) {
-        shard.bytes -= EntryFootprint(it->first, *it->second.object);
+        const size_t footprint = EntryFootprint(it->first, *it->second.object);
+        shard.bytes -= footprint;
         it = shard.map.erase(it);
-        ++shard.invalidations;
+        invalidations_->Increment();
+        entries_gauge_->Add(-1.0);
+        bytes_gauge_->Add(-static_cast<double>(footprint));
         ++removed;
       } else {
         ++it;
@@ -146,6 +173,8 @@ void ObjectCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
+    entries_gauge_->Add(-static_cast<double>(shard.map.size()));
+    bytes_gauge_->Add(-static_cast<double>(shard.bytes));
     shard.map.clear();
     shard.bytes = 0;
   }
@@ -168,23 +197,29 @@ void ObjectCache::EvictLocked(Shard& shard, size_t budget) {
       }
     }
     if (victim == shard.map.end()) return;  // everything pinned
-    shard.bytes -= EntryFootprint(victim->first, *victim->second.object);
+    const size_t footprint =
+        EntryFootprint(victim->first, *victim->second.object);
+    shard.bytes -= footprint;
     shard.map.erase(victim);
-    ++shard.evictions;
+    evictions_->Increment();
+    entries_gauge_->Add(-1.0);
+    bytes_gauge_->Add(-static_cast<double>(footprint));
   }
 }
 
 CacheStats ObjectCache::stats() const {
+  // Thin snapshot view over the registry cells; entries/bytes come from the
+  // shard maps themselves so the legacy accessor stays exact.
   CacheStats total;
+  total.hits = hits_->value();
+  total.misses = misses_->value();
+  total.inserts = inserts_->value();
+  total.updates_in_place = updates_->value();
+  total.invalidations = invalidations_->value();
+  total.evictions = evictions_->value();
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    total.hits += shard.hits;
-    total.misses += shard.misses;
-    total.inserts += shard.inserts;
-    total.updates_in_place += shard.updates;
-    total.invalidations += shard.invalidations;
-    total.evictions += shard.evictions;
     total.entries += shard.map.size();
     total.bytes += shard.bytes;
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace nagano::cache {
@@ -58,6 +59,10 @@ class ObjectCache {
     // least-recently-used unpinned entries until the new object fits.
     size_t capacity_bytes = 0;
     const Clock* clock = nullptr;  // defaults to RealClock
+    // Registry + instance label for the nagano_cache_* metrics. An empty
+    // instance gets a unique auto-assigned label so two caches (fleet
+    // nodes, test fixtures) never alias each other's cells.
+    metrics::Options metrics;
   };
 
   ObjectCache() : ObjectCache(Options()) {}
@@ -118,9 +123,6 @@ class ObjectCache {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Entry> map;
     size_t bytes = 0;
-    // Per-shard counters, aggregated by stats().
-    uint64_t hits = 0, misses = 0, inserts = 0, updates = 0, invalidations = 0,
-             evictions = 0;
   };
 
   Shard& ShardFor(std::string_view key);
@@ -133,6 +135,18 @@ class ObjectCache {
   size_t capacity_bytes_;
   const Clock* clock_;
   std::atomic<uint64_t> lru_clock_{0};
+
+  // Registry-owned cells; stats() is a thin snapshot view over them.
+  // Increments happen under the owning shard's lock, so per-metric relaxed
+  // atomics are plenty.
+  metrics::Counter* hits_;
+  metrics::Counter* misses_;
+  metrics::Counter* inserts_;
+  metrics::Counter* updates_;
+  metrics::Counter* invalidations_;
+  metrics::Counter* evictions_;
+  metrics::Gauge* entries_gauge_;
+  metrics::Gauge* bytes_gauge_;
 };
 
 }  // namespace nagano::cache

@@ -17,10 +17,19 @@ FabricConfig FabricConfig::Olympic() {
 }
 
 ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
-                             const Clock* clock)
+                             const Clock* clock,
+                             const metrics::Options& metrics_options)
     : config_(std::move(config)), costs_(std::move(costs)), clock_(clock) {
   assert(clock_ != nullptr);
   assert(costs_.num_complexes() == config_.complexes.size());
+  const auto scope = metrics::Scope::Resolve(metrics_options, "fabric");
+  requests_ =
+      scope.GetCounter("nagano_fabric_requests_total", "requests routed");
+  served_ = scope.GetCounter("nagano_fabric_served_total", "requests served");
+  failed_ = scope.GetCounter("nagano_fabric_failed_total",
+                             "requests no complex could serve");
+  retries_ = scope.GetCounter("nagano_fabric_retries_total",
+                              "dead-node / dead-dispatcher re-routes");
   complexes_.reserve(config_.complexes.size());
   for (size_t ci = 0; ci < config_.complexes.size(); ++ci) {
     const ComplexConfig& cc = config_.complexes[ci];
@@ -28,6 +37,9 @@ ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
            "cost table order must match complex order");
     Complex cx;
     cx.name = cc.name;
+    cx.served = scope.registry->GetCounter(
+        "nagano_fabric_served_by_complex_total",
+        scope.With("complex", cc.name), "requests served per complex");
     cx.frames.resize(static_cast<size_t>(cc.frames));
     for (auto& frame : cx.frames) {
       frame.nodes.resize(static_cast<size_t>(cc.nodes_per_frame));
@@ -158,7 +170,7 @@ RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
                                     size_t bytes, const LinkClass& link) {
   RequestOutcome out;
   out.region = region;
-  ++requests_;
+  requests_->Increment();
 
   // Round-robin DNS hands the client one of the twelve addresses.
   const int address =
@@ -188,7 +200,7 @@ RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
     node.busy_until = start + cpu_cost;
     node.busy_total += cpu_cost;
     ++node.served;
-    ++cx.served;
+    cx.served->Increment();
 
     out.served = true;
     out.complex_index = ci;
@@ -196,14 +208,14 @@ RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
     out.response_time = costs_.Rtt(region, ci) +
                         retries * config_.retry_penalty + out.queue_delay +
                         cpu_cost + TransferTime(link, bytes);
-    ++served_;
-    retries_ += static_cast<uint64_t>(retries);
+    served_->Increment();
+    retries_->Increment(static_cast<uint64_t>(retries));
     return out;
   }
 
   out.retries = retries;
-  ++failed_;
-  retries_ += static_cast<uint64_t>(retries);
+  failed_->Increment();
+  retries_->Increment(static_cast<uint64_t>(retries));
   return out;
 }
 
@@ -320,12 +332,14 @@ Status ServingFabric::SetAdvertised(std::string_view complex_name, int address,
 
 FabricStats ServingFabric::stats() const {
   FabricStats s;
-  s.requests = requests_;
-  s.served = served_;
-  s.failed = failed_;
-  s.retries = retries_;
+  s.requests = requests_->value();
+  s.served = served_->value();
+  s.failed = failed_->value();
+  s.retries = retries_->value();
   s.served_by_complex.reserve(complexes_.size());
-  for (const auto& cx : complexes_) s.served_by_complex.push_back(cx.served);
+  for (const auto& cx : complexes_) {
+    s.served_by_complex.push_back(cx.served->value());
+  }
   return s;
 }
 

@@ -22,6 +22,7 @@
 
 #include "cluster/net.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -72,7 +73,8 @@ class ServingFabric {
  public:
   // `clock` provides simulated time for queueing; `costs` must list the
   // same complexes, in the same order, as `config`.
-  ServingFabric(FabricConfig config, RegionCosts costs, const Clock* clock);
+  ServingFabric(FabricConfig config, RegionCosts costs, const Clock* clock,
+                const metrics::Options& metrics_options = {});
 
   // Routes one request originating in `region` (index into the cost
   // table). cpu_cost is the server-side service time (from the paper's
@@ -130,7 +132,8 @@ class ServingFabric {
     std::vector<Frame> frames;
     std::vector<Dispatcher> dispatchers;
     std::vector<bool> advertised;  // per address
-    uint64_t served = 0;
+    // Registry cell labelled {complex="<name>"} — per-site traffic split.
+    metrics::Counter* served = nullptr;
   };
 
   Complex* FindComplex(std::string_view name);
@@ -151,7 +154,11 @@ class ServingFabric {
   std::vector<Complex> complexes_;
   uint64_t dns_counter_ = 0;  // round-robin DNS
 
-  uint64_t requests_ = 0, served_ = 0, failed_ = 0, retries_ = 0;
+  // Registry cells behind the legacy stats() view.
+  metrics::Counter* requests_;
+  metrics::Counter* served_;
+  metrics::Counter* failed_;
+  metrics::Counter* retries_;
 };
 
 }  // namespace nagano::cluster

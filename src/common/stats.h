@@ -83,20 +83,29 @@ class Counter {
 
 // Fixed-width time-series accumulator: value[i] accumulates everything
 // reported for slot i. Used for "hits by hour" / "hits by day" figures.
+// Out-of-range slots are not silently dropped: they land in overflow(), so
+// the figure benches can assert that a series lost nothing.
 class TimeSeries {
  public:
   explicit TimeSeries(size_t slots) : v_(slots, 0.0) {}
 
   void Add(size_t slot, double amount = 1.0) {
-    if (slot < v_.size()) v_[slot] += amount;
+    if (slot < v_.size()) {
+      v_[slot] += amount;
+    } else {
+      ++overflow_;
+    }
   }
   double at(size_t slot) const { return v_[slot]; }
   size_t slots() const { return v_.size(); }
+  // Number of Add() calls that fell outside [0, slots).
+  uint64_t overflow() const { return overflow_; }
   double total() const;
   size_t PeakSlot() const;
 
  private:
   std::vector<double> v_;
+  uint64_t overflow_ = 0;
 };
 
 // Renders a horizontal ASCII bar chart (one row per slot) — used by the

@@ -1,5 +1,6 @@
 #include "core/serving_site.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace nagano::core {
@@ -10,7 +11,7 @@ ServingSite::ServingSite(SiteOptions options)
 
 Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
   auto database = std::make_unique<db::Database>(
-      options.clock ? options.clock : &RealClock::Instance());
+      options.clock ? options.clock : &RealClock::Instance(), options.metrics);
   if (Status s = pagegen::OlympicSite::Build(options.olympic, database.get());
       !s.ok()) {
     return s;
@@ -30,16 +31,23 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
   std::unique_ptr<ServingSite> site(new ServingSite(std::move(options)));
   site->db_ = std::move(database);
 
-  site->graph_ = std::make_unique<odg::ObjectDependenceGraph>();
+  // Every subsystem registers into the same registry under the same site
+  // label (auto-assignment stays per subsystem when the label is empty).
+  const metrics::Options& site_metrics = site->options_.metrics;
+  site->registry_ = site_metrics.registry ? site_metrics.registry
+                                          : &metrics::MetricRegistry::Default();
+
+  site->graph_ = std::make_unique<odg::ObjectDependenceGraph>(site_metrics);
 
   cache::ObjectCache::Options cache_options;
   cache_options.shards = site->options_.cache_shards;
   cache_options.capacity_bytes = site->options_.cache_capacity_bytes;
   cache_options.clock = site->clock_;
+  cache_options.metrics = site_metrics;
   site->cache_ = std::make_unique<cache::ObjectCache>(cache_options);
 
-  site->renderer_ = std::make_unique<pagegen::PageRenderer>(site->graph_.get(),
-                                                            site->cache_.get());
+  site->renderer_ = std::make_unique<pagegen::PageRenderer>(
+      site->graph_.get(), site->cache_.get(), site_metrics);
   pagegen::OlympicSite::RegisterGenerators(site->options_.olympic,
                                            site->db_.get(),
                                            site->renderer_.get());
@@ -48,12 +56,14 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
     cache::ObjectCache::Options node_options;
     node_options.shards = site->options_.cache_shards;
     node_options.clock = site->clock_;
+    node_options.metrics = site_metrics;  // fleet appends "/nodeN"
     site->fleet_ = std::make_unique<cache::CacheFleet>(
         site->options_.serving_nodes, node_options);
     site->options_.trigger.fleet = site->fleet_.get();
   }
 
   db::Database* db_ptr = site->db_.get();
+  site->options_.trigger.metrics = site_metrics;
   site->trigger_ = std::make_unique<trigger::TriggerMonitor>(
       db_ptr, site->graph_.get(), site->cache_.get(), site->renderer_.get(),
       [db_ptr](const db::ChangeRecord& change) {
@@ -63,16 +73,49 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
 
   server::DynamicPageServer::Options serve_options;
   serve_options.costs = site->options_.costs;
+  serve_options.metrics = site_metrics;
   site->page_server_ = std::make_unique<server::DynamicPageServer>(
       site->cache_.get(), site->renderer_.get(), serve_options);
   if (site->fleet_ != nullptr) {
+    server::DynamicPageServer::Options node_serve_options = serve_options;
     for (size_t n = 0; n < site->fleet_->size(); ++n) {
+      if (!site_metrics.instance.empty()) {
+        node_serve_options.metrics.instance =
+            site_metrics.instance + "/node" + std::to_string(n);
+      }
       site->node_servers_.push_back(std::make_unique<server::DynamicPageServer>(
-          &site->fleet_->node(n), site->renderer_.get(), serve_options));
+          &site->fleet_->node(n), site->renderer_.get(), node_serve_options));
     }
   }
 
   return site;
+}
+
+server::HealthReport ServingSite::Health() const {
+  server::HealthReport report;
+  if (!trigger_->running()) {
+    report.problems.push_back("trigger monitor not running");
+  }
+  if (cache_->size() == 0) {
+    report.problems.push_back("cache empty (site not prefetched)");
+  }
+  // Quiesce lag: a backlog far past the coalescing window means the trigger
+  // monitor is falling behind the feed.
+  const uint64_t backlog_bound =
+      100 * std::max<uint64_t>(1, options_.trigger.batch_max);
+  const uint64_t backlog = trigger_->backlog();
+  if (backlog > backlog_bound) {
+    report.problems.push_back("trigger backlog " + std::to_string(backlog) +
+                              " changes exceeds bound " +
+                              std::to_string(backlog_bound));
+  }
+  // The paper's freshness promise: updates visible within sixty seconds.
+  const Histogram propagation = trigger_->stats().propagation_latency_ms;
+  if (propagation.count() > 0 && propagation.Percentile(0.99) > 60'000.0) {
+    report.problems.push_back("propagation p99 above the 60 s freshness bound");
+  }
+  report.ok = report.problems.empty();
+  return report;
 }
 
 ServingSite::~ServingSite() {

@@ -17,6 +17,7 @@
 #include "cache/fleet.h"
 #include "cache/object_cache.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "odg/graph.h"
@@ -38,6 +39,11 @@ struct SiteOptions {
   // maintains only the composition cache.
   size_t serving_nodes = 0;
   const Clock* clock = nullptr;     // defaults to RealClock
+  // Registry + "site" label shared by every subsystem this site builds
+  // (cache, trigger, renderer, serving path, ODG, database, access log).
+  // An empty instance label keeps auto-assignment per subsystem, so test
+  // fixtures never alias; fleet nodes get "<instance>/nodeN".
+  metrics::Options metrics;
 };
 
 class ServingSite {
@@ -124,6 +130,11 @@ class ServingSite {
   Result<double> MeasureUpdateLatencyMs(int64_t event_id, int64_t rank,
                                         int64_t athlete_id, double score);
 
+  // Live /healthz verdict: trigger running, cache populated, trigger
+  // backlog bounded, and propagation p99 inside the paper's 60 s freshness
+  // bound. Wire into HttpFrontEnd::EnableAdmin.
+  server::HealthReport Health() const;
+
   // --- components -----------------------------------------------------------------
   db::Database& db() { return *db_; }
   odg::ObjectDependenceGraph& graph() { return *graph_; }
@@ -133,6 +144,9 @@ class ServingSite {
   server::DynamicPageServer& page_server() { return *page_server_; }
   const pagegen::OlympicConfig& olympic_config() const { return options_.olympic; }
   const Clock& clock() const { return *clock_; }
+  // The registry every subsystem of this site registers into (the
+  // process-wide Default() unless SiteOptions.metrics said otherwise).
+  metrics::MetricRegistry& metrics_registry() { return *registry_; }
 
  private:
   explicit ServingSite(SiteOptions options);
@@ -140,6 +154,7 @@ class ServingSite {
   std::atomic<uint64_t> last_quiesced_seqno_{0};
   SiteOptions options_;
   const Clock* clock_;
+  metrics::MetricRegistry* registry_ = nullptr;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<odg::ObjectDependenceGraph> graph_;
   std::unique_ptr<cache::ObjectCache> cache_;

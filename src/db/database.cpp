@@ -29,8 +29,12 @@ bool TypeMatches(const Value& v, ColumnType type) {
   return false;
 }
 
-Database::Database(const Clock* clock)
-    : clock_(clock ? clock : &RealClock::Instance()) {}
+Database::Database(const Clock* clock, const metrics::Options& metrics_options)
+    : clock_(clock ? clock : &RealClock::Instance()) {
+  const auto scope = metrics::Scope::Resolve(metrics_options, "db");
+  commits_ = scope.GetCounter("nagano_db_commits_total",
+                              "mutations appended to the change log");
+}
 
 Status Database::CreateTable(std::string_view table,
                              std::vector<ColumnSpec> columns,
@@ -94,6 +98,7 @@ Status Database::ValidateRowLocked(const TableData& t, const Row& row) const {
 void Database::CommitLocked(ChangeRecord change,
                             std::unique_lock<std::shared_mutex>& lock) {
   log_.push_back(change);
+  commits_->Increment();
   // Snapshot listeners, then fire outside the lock: listeners (the trigger
   // monitor) may re-enter the database to render pages.
   std::vector<Listener> to_fire;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace nagano::db {
@@ -66,7 +67,8 @@ struct ChangeRecord {
 
 class Database {
  public:
-  explicit Database(const Clock* clock = nullptr);
+  explicit Database(const Clock* clock = nullptr,
+                    const metrics::Options& metrics_options = {});
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -143,6 +145,8 @@ class Database {
   uint64_t next_seqno_ = 1;
   std::map<uint64_t, Listener> listeners_;
   uint64_t next_listener_id_ = 1;
+  // Committed mutations (inserts/updates/deletes plus replicated applies).
+  metrics::Counter* commits_;
 };
 
 }  // namespace nagano::db

@@ -22,6 +22,7 @@ struct HttpServer::Connection {
   RequestParser parser;
   std::string out;        // bytes pending write
   size_t out_offset = 0;  // already written
+  uint64_t served = 0;    // requests answered on this connection
   bool close_after_flush = false;
   bool want_write = false;
 };
@@ -42,6 +43,22 @@ bool SetNonBlocking(int fd) {
 HttpServer::HttpServer(Handler handler, Options options)
     : handler_(std::move(handler)), options_(std::move(options)) {
   impl_ = new Impl;
+  const auto scope = metrics::Scope::Resolve(options_.metrics, "http");
+  connections_ = scope.GetCounter("nagano_http_connections_accepted_total",
+                                  "TCP connections accepted");
+  connections_closed_ = scope.GetCounter(
+      "nagano_http_connections_closed_total", "TCP connections closed");
+  requests_ =
+      scope.GetCounter("nagano_http_requests_total", "HTTP requests served");
+  parse_errors_ = scope.GetCounter("nagano_http_parse_errors_total",
+                                   "malformed requests rejected");
+  bytes_in_ =
+      scope.GetCounter("nagano_http_bytes_in_total", "request bytes read");
+  bytes_out_ =
+      scope.GetCounter("nagano_http_bytes_out_total", "response bytes written");
+  keepalive_reuses_ =
+      scope.GetCounter("nagano_http_keepalive_reuses_total",
+                       "requests beyond the first on a persistent connection");
 }
 
 HttpServer::~HttpServer() {
@@ -110,7 +127,10 @@ void HttpServer::Stop() {
     [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
   if (loop_.joinable()) loop_.join();
-  for (auto& [fd, conn] : impl_->connections) ::close(fd);
+  for (auto& [fd, conn] : impl_->connections) {
+    ::close(fd);
+    connections_closed_->Increment();
+  }
   impl_->connections.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
@@ -167,7 +187,7 @@ void HttpServer::AcceptNew() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_->Increment();
     Connection& conn = impl_->connections[fd];
     conn.fd = fd;
     epoll_event ev{};
@@ -182,8 +202,9 @@ void HttpServer::HandleReadable(Connection& conn) {
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
+      bytes_in_->Increment(static_cast<uint64_t>(n));
       if (Status s = conn.parser.Feed(std::string_view(buf, size_t(n))); !s.ok()) {
-        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        parse_errors_->Increment();
         HttpResponse bad;
         bad.status = 400;
         bad.reason = "Bad Request";
@@ -205,7 +226,8 @@ void HttpServer::HandleReadable(Connection& conn) {
   }
 
   while (auto request = conn.parser.Next()) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_->Increment();
+    if (conn.served++ > 0) keepalive_reuses_->Increment();
     HttpResponse response = handler_(*request);
     if (!request->KeepAlive()) {
       response.headers["Connection"] = "close";
@@ -223,7 +245,7 @@ void HttpServer::HandleWritable(Connection& conn) {
                               conn.out.size() - conn.out_offset);
     if (n > 0) {
       conn.out_offset += static_cast<size_t>(n);
-      bytes_out_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      bytes_out_->Increment(static_cast<uint64_t>(n));
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -259,15 +281,18 @@ void HttpServer::HandleWritable(Connection& conn) {
 void HttpServer::CloseConnection(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  impl_->connections.erase(fd);
+  if (impl_->connections.erase(fd) != 0) connections_closed_->Increment();
 }
 
 ServerStats HttpServer::stats() const {
   ServerStats s;
-  s.connections_accepted = connections_.load(std::memory_order_relaxed);
-  s.requests_served = requests_.load(std::memory_order_relaxed);
-  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
-  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_->value();
+  s.connections_closed = connections_closed_->value();
+  s.requests_served = requests_->value();
+  s.parse_errors = parse_errors_->value();
+  s.bytes_in = bytes_in_->value();
+  s.bytes_out = bytes_out_->value();
+  s.keepalive_reuses = keepalive_reuses_->value();
   return s;
 }
 

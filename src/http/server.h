@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "http/message.h"
@@ -20,9 +21,14 @@ namespace nagano::http {
 
 struct ServerStats {
   uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
   uint64_t requests_served = 0;
   uint64_t parse_errors = 0;
+  uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  // Requests beyond the first on a persistent connection — the HTTP/1.1
+  // keep-alive win the paper's front ends relied on at Olympic load.
+  uint64_t keepalive_reuses = 0;
 };
 
 class HttpServer {
@@ -33,6 +39,8 @@ class HttpServer {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
     int backlog = 128;
+    // Registry + instance label for the nagano_http_* metrics.
+    metrics::Options metrics;
   };
 
   explicit HttpServer(Handler handler) : HttpServer(std::move(handler), Options()) {}
@@ -69,10 +77,15 @@ class HttpServer {
   std::thread loop_;
   std::atomic<bool> running_{false};
 
-  // Connection table owned by the loop thread; stats are atomics so the
-  // accessor needs no lock.
-  std::atomic<uint64_t> connections_{0}, requests_{0}, parse_errors_{0},
-      bytes_out_{0};
+  // Connection table owned by the loop thread; counters are registry cells
+  // (lock-free reads) so the stats() accessor needs no lock.
+  metrics::Counter* connections_;
+  metrics::Counter* connections_closed_;
+  metrics::Counter* requests_;
+  metrics::Counter* parse_errors_;
+  metrics::Counter* bytes_in_;
+  metrics::Counter* bytes_out_;
+  metrics::Counter* keepalive_reuses_;
   struct Impl;
   Impl* impl_ = nullptr;
 };

@@ -15,6 +15,22 @@ NodeKind WidenKind(NodeKind a, NodeKind b) {
 
 }  // namespace
 
+ObjectDependenceGraph::ObjectDependenceGraph(
+    const metrics::Options& metrics_options) {
+  const auto scope = metrics::Scope::Resolve(metrics_options, "odg");
+  nodes_gauge_ = scope.GetGauge("nagano_odg_nodes", "ODG vertices");
+  edges_gauge_ = scope.GetGauge("nagano_odg_edges", "ODG dependence edges");
+  mutations_ =
+      scope.GetCounter("nagano_odg_mutations_total", "graph version bumps");
+}
+
+void ObjectDependenceGraph::BumpVersionLocked() {
+  ++version_;
+  mutations_->Increment();
+  nodes_gauge_->Set(static_cast<double>(kinds_.size()));
+  edges_gauge_->Set(static_cast<double>(edge_count_));
+}
+
 NodeId ObjectDependenceGraph::EnsureNode(std::string_view node_name,
                                          NodeKind node_kind) {
   {
@@ -34,12 +50,12 @@ NodeId ObjectDependenceGraph::EnsureNode(std::string_view node_name,
     kinds_.resize(id + 1, node_kind);
     out_.resize(id + 1);
     in_.resize(id + 1);
-    ++version_;
+    BumpVersionLocked();
   } else {
     const NodeKind widened = WidenKind(kinds_[id], node_kind);
     if (widened != kinds_[id]) {
       kinds_[id] = widened;
-      ++version_;
+      BumpVersionLocked();
     }
   }
   return id;
@@ -71,7 +87,7 @@ Status ObjectDependenceGraph::AddDependence(NodeId from, NodeId to,
           if (r.to == from) r.weight = weight;
         }
         if (weight != 1.0) has_custom_weights_ = true;
-        ++version_;
+        BumpVersionLocked();
       }
       return Status::Ok();
     }
@@ -79,7 +95,7 @@ Status ObjectDependenceGraph::AddDependence(NodeId from, NodeId to,
   out_[from].push_back(Edge{to, weight});
   in_[to].push_back(Edge{from, weight});
   ++edge_count_;
-  ++version_;
+  BumpVersionLocked();
   if (weight != 1.0) has_custom_weights_ = true;
   return Status::Ok();
 }
@@ -100,7 +116,7 @@ Status ObjectDependenceGraph::RemoveDependence(NodeId from, NodeId to) {
   rev.erase(std::find_if(rev.begin(), rev.end(),
                          [from](const Edge& e) { return e.to == from; }));
   --edge_count_;
-  ++version_;
+  BumpVersionLocked();
   return Status::Ok();
 }
 
@@ -113,8 +129,9 @@ void ObjectDependenceGraph::ClearInEdges(NodeId of) {
                              [of](const Edge& o) { return o.to == of; }));
     --edge_count_;
   }
-  if (!in_[of].empty()) ++version_;
+  const bool changed = !in_[of].empty();
   in_[of].clear();
+  if (changed) BumpVersionLocked();
 }
 
 bool ObjectDependenceGraph::InEdgesEqualLocked(
@@ -173,7 +190,7 @@ void ObjectDependenceGraph::SetInEdges(NodeId of, std::vector<Edge> sources) {
     ++edge_count_;
     if (e.weight != 1.0) has_custom_weights_ = true;
   }
-  ++version_;
+  BumpVersionLocked();
 }
 
 bool ObjectDependenceGraph::HasEdgeLocked(NodeId from, NodeId to) const {

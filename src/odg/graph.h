@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/intern.h"
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace nagano::odg {
@@ -47,7 +48,8 @@ struct GraphStats {
 
 class ObjectDependenceGraph {
  public:
-  ObjectDependenceGraph() = default;
+  ObjectDependenceGraph() : ObjectDependenceGraph(metrics::Options{}) {}
+  explicit ObjectDependenceGraph(const metrics::Options& metrics_options);
 
   ObjectDependenceGraph(const ObjectDependenceGraph&) = delete;
   ObjectDependenceGraph& operator=(const ObjectDependenceGraph&) = delete;
@@ -106,6 +108,8 @@ class ObjectDependenceGraph {
 
  private:
   // Unlocked internals; callers hold mutex_.
+  // Bumps version_ and mirrors nodes/edges/version into the registry cells.
+  void BumpVersionLocked();
   bool HasEdgeLocked(NodeId from, NodeId to) const;
   // `sorted_sources` must be sorted by Edge::to.
   bool InEdgesEqualLocked(NodeId of, const std::vector<Edge>& sorted_sources) const;
@@ -118,6 +122,12 @@ class ObjectDependenceGraph {
   size_t edge_count_ = 0;
   uint64_t version_ = 0;
   bool has_custom_weights_ = false;
+
+  // Registry mirrors of the lock-guarded counters above; stats() reads the
+  // internals (exact), /metrics reads these.
+  metrics::Gauge* nodes_gauge_;
+  metrics::Gauge* edges_gauge_;
+  metrics::Counter* mutations_;
 };
 
 }  // namespace nagano::odg

@@ -6,10 +6,19 @@
 namespace nagano::pagegen {
 
 PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
-                           cache::ObjectCache* cache)
+                           cache::ObjectCache* cache,
+                           const metrics::Options& metrics_options)
     : graph_(graph), cache_(cache) {
   assert(graph_ != nullptr);
   assert(cache_ != nullptr);
+  const auto scope = metrics::Scope::Resolve(metrics_options, "renderer");
+  pages_rendered_ = scope.GetCounter("nagano_renderer_pages_rendered_total",
+                                     "successful page/fragment renders");
+  fragment_cache_hits_ =
+      scope.GetCounter("nagano_renderer_fragment_cache_hits_total",
+                       "fragments spliced straight from cache");
+  generator_errors_ = scope.GetCounter("nagano_renderer_generator_errors_total",
+                                       "generator invocations that failed");
 }
 
 void PageRenderer::RegisterExact(std::string name, PageGenerator generator) {
@@ -92,7 +101,7 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
   state.stack.pop_back();
 
   if (!body.ok()) {
-    generator_errors_.fetch_add(1, std::memory_order_relaxed);
+    generator_errors_->Increment();
     return body;
   }
 
@@ -119,16 +128,16 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
     cache_->Put(page_name, body.value());
   }
 
-  pages_rendered_.fetch_add(1, std::memory_order_relaxed);
-  fragment_cache_hits_.fetch_add(fragment_hits, std::memory_order_relaxed);
+  pages_rendered_->Increment();
+  if (fragment_hits != 0) fragment_cache_hits_->Increment(fragment_hits);
   return body;
 }
 
 RendererStats PageRenderer::stats() const {
   RendererStats out;
-  out.pages_rendered = pages_rendered_.load(std::memory_order_relaxed);
-  out.fragment_cache_hits = fragment_cache_hits_.load(std::memory_order_relaxed);
-  out.generator_errors = generator_errors_.load(std::memory_order_relaxed);
+  out.pages_rendered = pages_rendered_->value();
+  out.fragment_cache_hits = fragment_cache_hits_->value();
+  out.generator_errors = generator_errors_->value();
   return out;
 }
 

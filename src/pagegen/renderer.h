@@ -10,7 +10,6 @@
 // what a page actually contains.
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +19,7 @@
 #include <vector>
 
 #include "cache/object_cache.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "odg/graph.h"
@@ -67,7 +67,8 @@ struct RendererStats {
 
 class PageRenderer {
  public:
-  PageRenderer(odg::ObjectDependenceGraph* graph, cache::ObjectCache* cache);
+  PageRenderer(odg::ObjectDependenceGraph* graph, cache::ObjectCache* cache,
+               const metrics::Options& metrics_options = {});
 
   // Exact-name generator ("/medals") or prefix family ("/athlete/"). When
   // both match, exact wins; among prefixes, the longest wins.
@@ -107,11 +108,12 @@ class PageRenderer {
   std::map<std::string, PageGenerator> exact_;
   std::map<std::string, PageGenerator> prefixes_;
 
-  // Atomics, not a mutex: stats are bumped on every render and a shared
-  // counter lock would re-serialize the parallel re-render workers.
-  std::atomic<uint64_t> pages_rendered_{0};
-  std::atomic<uint64_t> fragment_cache_hits_{0};
-  std::atomic<uint64_t> generator_errors_{0};
+  // Registry-owned sharded counters — bumped on every render, and shared
+  // locking would re-serialize the parallel re-render workers. stats() is a
+  // thin snapshot view over these cells.
+  metrics::Counter* pages_rendered_;
+  metrics::Counter* fragment_cache_hits_;
+  metrics::Counter* generator_errors_;
 };
 
 }  // namespace nagano::pagegen

@@ -4,6 +4,13 @@
 
 namespace nagano::server {
 
+AccessLog::AccessLog(const metrics::Options& metrics_options) {
+  const auto scope = metrics::Scope::Resolve(metrics_options, "access_log");
+  field_clamps_ = scope.GetCounter(
+      "nagano_access_log_field_clamps_total",
+      "records whose bytes/response_us saturated their 32-bit field");
+}
+
 void AccessLog::Append(TimeNs at, std::string_view page, ServeClass cls,
                        size_t bytes, TimeNs response_time, uint16_t region) {
   AccessRecord record;
@@ -11,9 +18,25 @@ void AccessLog::Append(TimeNs at, std::string_view page, ServeClass cls,
   record.page_id = pages_.Intern(page);
   record.region = region;
   record.cls = cls;
-  record.bytes = static_cast<uint32_t>(std::min<size_t>(bytes, UINT32_MAX));
-  record.response_us = static_cast<uint32_t>(
-      std::min<TimeNs>(response_time / kMicrosecond, UINT32_MAX));
+  bool clamped = false;
+  if (bytes > UINT32_MAX) {
+    bytes = UINT32_MAX;
+    clamped = true;
+  }
+  record.bytes = static_cast<uint32_t>(bytes);
+  // Saturate instead of wrapping: a response slower than ~71.6 minutes (or a
+  // negative duration from a misbehaving clock, pinned to 0) must not alias
+  // to a fast one in the audit log.
+  TimeNs response_us = response_time / kMicrosecond;
+  if (response_us < 0) {
+    response_us = 0;
+    clamped = true;
+  } else if (response_us > static_cast<TimeNs>(UINT32_MAX)) {
+    response_us = static_cast<TimeNs>(UINT32_MAX);
+    clamped = true;
+  }
+  record.response_us = static_cast<uint32_t>(response_us);
+  if (clamped) field_clamps_->Increment();
   std::lock_guard<std::mutex> lock(mutex_);
   records_.push_back(record);
 }

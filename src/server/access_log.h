@@ -18,6 +18,7 @@
 
 #include "common/clock.h"
 #include "common/intern.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "server/serving.h"
 
@@ -37,7 +38,8 @@ struct AccessRecord {
 
 class AccessLog {
  public:
-  AccessLog() = default;
+  AccessLog() : AccessLog(metrics::Options{}) {}
+  explicit AccessLog(const metrics::Options& metrics_options);
 
   AccessLog(const AccessLog&) = delete;
   AccessLog& operator=(const AccessLog&) = delete;
@@ -58,6 +60,10 @@ class AccessLog {
   mutable std::mutex mutex_;
   StringInterner pages_;
   std::vector<AccessRecord> records_;
+  // Records whose fields exceeded their compact-width range and were clamped
+  // to the maximum (response_us saturates at ~71.6 minutes). A nonzero count
+  // means the audit figures under-report tail latency / bytes.
+  metrics::Counter* field_clamps_;
 };
 
 // Aggregations over a log snapshot — the §5 audit.

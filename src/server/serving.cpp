@@ -11,6 +11,17 @@ DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
                                      Options options)
     : cache_(cache), renderer_(renderer), options_(std::move(options)) {
   assert(cache_ && renderer_);
+  const auto scope = metrics::Scope::Resolve(options_.metrics, "serve");
+  static_hits_ = scope.GetCounter("nagano_serve_static_hits_total",
+                                  "requests answered from the static file set");
+  cache_hits_ = scope.GetCounter("nagano_serve_cache_hits_total",
+                                 "dynamic requests answered from cache");
+  cache_misses_ = scope.GetCounter("nagano_serve_cache_misses_total",
+                                   "dynamic requests that forced generation");
+  not_found_ =
+      scope.GetCounter("nagano_serve_not_found_total", "requests with no page");
+  errors_ =
+      scope.GetCounter("nagano_serve_errors_total", "requests that failed");
 }
 
 void DynamicPageServer::AddStaticPage(std::string path, std::string body) {
@@ -49,7 +60,7 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
     std::lock_guard<std::mutex> lock(static_mutex_);
     auto it = static_pages_.find(path);
     if (it != static_pages_.end()) {
-      static_hits_.fetch_add(1, std::memory_order_relaxed);
+      static_hits_->Increment();
       out.cls = ServeClass::kStatic;
       out.cpu_cost = options_.costs.static_page;
       out.bytes = it->second.size();
@@ -61,7 +72,7 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
   // 2. Dynamic page cache.
   if (ShouldCache(path)) {
     if (auto cached = cache_->Lookup(path)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->Increment();
       out.cls = ServeClass::kCacheHit;
       out.cpu_cost = options_.costs.cached_dynamic;
       out.bytes = cached->body.size();
@@ -75,7 +86,7 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
     auto body = ShouldCache(path) ? renderer_->RenderAndCache(path)
                                   : renderer_->RenderOnly(path);
     if (body.ok()) {
-      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      cache_misses_->Increment();
       out.cls = ServeClass::kCacheMissGenerated;
       out.cpu_cost = options_.costs.generate_dynamic;
       out.bytes = body.value().size();
@@ -83,14 +94,14 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       return out;
     }
     if (body.status().code() != ErrorCode::kNotFound) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Increment();
       out.cls = ServeClass::kError;
       out.cpu_cost = options_.costs.not_found;
       return out;
     }
   }
 
-  not_found_.fetch_add(1, std::memory_order_relaxed);
+  not_found_->Increment();
   out.cls = ServeClass::kNotFound;
   out.cpu_cost = options_.costs.not_found;
   return out;
@@ -98,11 +109,11 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
 
 ServeStats DynamicPageServer::stats() const {
   ServeStats s;
-  s.static_hits = static_hits_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.not_found = not_found_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
+  s.static_hits = static_hits_->value();
+  s.cache_hits = cache_hits_->value();
+  s.cache_misses = cache_misses_->value();
+  s.not_found = not_found_->value();
+  s.errors = errors_->value();
   return s;
 }
 
@@ -115,14 +126,60 @@ HttpFrontEnd::HttpFrontEnd(DynamicPageServer* program,
   assert(program_);
 }
 
+void HttpFrontEnd::EnableAdmin(metrics::MetricRegistry* registry,
+                               HealthCheck health) {
+  admin_registry_ = registry ? registry : &metrics::MetricRegistry::Default();
+  health_ = std::move(health);
+}
+
 Status HttpFrontEnd::Start() { return server_->Start(); }
 void HttpFrontEnd::Stop() { server_->Stop(); }
+
+http::HttpResponse HttpFrontEnd::HandleAdmin(std::string_view path) {
+  http::HttpResponse r;
+  if (path == "/metrics") {
+    r.status = 200;
+    r.reason = "OK";
+    r.headers["Content-Type"] = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = admin_registry_->RenderPrometheus();
+    return r;
+  }
+  if (path == "/healthz") {
+    HealthReport report = health_ ? health_() : HealthReport{};
+    r.status = report.ok ? 200 : 503;
+    r.reason = report.ok ? "OK" : "Service Unavailable";
+    r.headers["Content-Type"] = "text/plain; charset=utf-8";
+    if (report.ok) {
+      r.body = "ok\n";
+    } else {
+      for (const std::string& problem : report.problems) {
+        r.body += problem;
+        r.body += '\n';
+      }
+      if (r.body.empty()) r.body = "unhealthy\n";
+    }
+    return r;
+  }
+  // /statusz
+  r.status = 200;
+  r.reason = "OK";
+  r.headers["Content-Type"] = "text/plain; charset=utf-8";
+  r.body = admin_registry_->RenderStatusz();
+  return r;
+}
 
 http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
   if (request.method != "GET" && request.method != "HEAD") {
     http::HttpResponse r;
     r.status = 405;
     r.reason = "Method Not Allowed";
+    return r;
+  }
+  const std::string path = request.Path();  // Path() returns by value
+  if (admin_registry_ != nullptr &&
+      (path == "/metrics" || path == "/healthz" || path == "/statusz")) {
+    http::HttpResponse r = HandleAdmin(path);
+    if (request.method == "HEAD") r.body.clear();
     return r;
   }
   ServeOutcome outcome = program_->Serve(request.Path(), /*include_body=*/true);

@@ -19,16 +19,18 @@
 // node, and the THRU bench measures the real cost too.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cache/object_cache.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "http/message.h"
@@ -84,6 +86,8 @@ class DynamicPageServer {
     // Pages the program declines to cache (per-request personalization in a
     // real deployment). Prefix match; empty = cache everything.
     std::vector<std::string> never_cache_prefixes;
+    // Registry + instance label for the nagano_serve_* metrics.
+    metrics::Options metrics;
   };
 
   DynamicPageServer(cache::ObjectCache* cache, pagegen::PageRenderer* renderer)
@@ -118,14 +122,38 @@ class DynamicPageServer {
   std::mutex static_mutex_;
   std::map<std::string, std::string, std::less<>> static_pages_;
 
-  std::atomic<uint64_t> static_hits_{0}, cache_hits_{0}, cache_misses_{0},
-      not_found_{0}, errors_{0};
+  // Registry cells behind the legacy stats() view.
+  metrics::Counter* static_hits_;
+  metrics::Counter* cache_hits_;
+  metrics::Counter* cache_misses_;
+  metrics::Counter* not_found_;
+  metrics::Counter* errors_;
 };
 
-// Adapts a DynamicPageServer to the epoll HTTP server.
+// One site-health verdict for /healthz: overall up/down plus the reasons a
+// probe failed (empty when healthy).
+struct HealthReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+using HealthCheck = std::function<HealthReport()>;
+
+// Adapts a DynamicPageServer to the epoll HTTP server, and optionally
+// exposes the live admin surface:
+//   /metrics  Prometheus text exposition (format 0.0.4)
+//   /healthz  200 "ok" / 503 with one problem per line
+//   /statusz  human-readable per-subsystem snapshot
 class HttpFrontEnd {
  public:
   HttpFrontEnd(DynamicPageServer* program, http::HttpServer::Options options);
+
+  // Turns on /metrics, /healthz and /statusz, served from `registry`
+  // (nullptr = the process-wide Default()). `health` backs /healthz; with no
+  // probe the endpoint always answers 200. Call before Start() — the admin
+  // paths shadow any same-named cached page.
+  void EnableAdmin(metrics::MetricRegistry* registry = nullptr,
+                   HealthCheck health = nullptr);
 
   Status Start();
   void Stop();
@@ -134,8 +162,11 @@ class HttpFrontEnd {
 
  private:
   http::HttpResponse Handle(const http::HttpRequest& request);
+  http::HttpResponse HandleAdmin(std::string_view path);
 
   DynamicPageServer* program_;
+  metrics::MetricRegistry* admin_registry_ = nullptr;  // null = admin off
+  HealthCheck health_;
   std::unique_ptr<http::HttpServer> server_;
 };
 

@@ -52,6 +52,45 @@ TriggerMonitor::TriggerMonitor(db::Database* db,
   if (options_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+
+  const auto scope = metrics::Scope::Resolve(options_.metrics, "trigger");
+  changes_processed_ = scope.GetCounter("nagano_trigger_changes_processed_total",
+                                        "database changes applied");
+  batches_ =
+      scope.GetCounter("nagano_trigger_batches_total", "coalesced DUP batches");
+  dup_runs_ =
+      scope.GetCounter("nagano_trigger_dup_runs_total", "DUP traversals");
+  objects_updated_ = scope.GetCounter("nagano_trigger_objects_updated_total",
+                                      "objects regenerated in place");
+  objects_invalidated_ =
+      scope.GetCounter("nagano_trigger_objects_invalidated_total",
+                       "objects dropped from the cache");
+  objects_skipped_ =
+      scope.GetCounter("nagano_trigger_objects_skipped_total",
+                       "affected but uncached objects left to on-demand render");
+  render_failures_ = scope.GetCounter("nagano_trigger_render_failures_total",
+                                      "regenerations that failed");
+  changes_coalesced_ =
+      scope.GetCounter("nagano_trigger_changes_coalesced_total",
+                       "changes that rode along in a multi-change batch");
+  render_jobs_ = scope.GetCounter("nagano_trigger_render_jobs_total",
+                                  "render jobs dispatched to the pool");
+  renders_attempted_ = scope.GetCounter(
+      "nagano_trigger_renders_attempted_total", "regenerations tried");
+  update_latency_ms_ =
+      scope.GetHistogram("nagano_trigger_update_latency_ms",
+                         "commit to cache-consistent latency per batch (ms)");
+  fanout_ = scope.GetHistogram("nagano_trigger_fanout",
+                               "affected objects per batch");
+  batch_apply_ms_ = scope.GetHistogram(
+      "nagano_trigger_batch_apply_ms",
+      "regenerate + distribute wall time per batch (ms)");
+  batch_levels_ =
+      scope.GetHistogram("nagano_trigger_batch_levels",
+                         "topological stages per update-in-place batch");
+  propagation_latency_ms_ = scope.GetHistogram(
+      "nagano_dup_propagation_latency_ms",
+      "commit to cache-visible latency per affected object (ms)");
 }
 
 TriggerMonitor::~TriggerMonitor() { Stop(); }
@@ -94,6 +133,11 @@ void TriggerMonitor::Quiesce() {
   quiesce_cv_.wait(lock, [&] { return processed_ == enqueued_; });
 }
 
+uint64_t TriggerMonitor::backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueued_ - processed_;
+}
+
 void TriggerMonitor::DispatchLoop() {
   for (;;) {
     auto first = queue_.Pop();
@@ -106,11 +150,11 @@ void TriggerMonitor::DispatchLoop() {
       batch.push_back(std::move(*next));
     }
     ProcessBatch(batch);
+    batches_->Increment();
+    changes_processed_->Increment(batch.size());
     {
       std::lock_guard<std::mutex> lock(mutex_);
       processed_ += batch.size();
-      ++stats_.batches;
-      stats_.changes_processed += batch.size();
     }
     quiesce_cv_.notify_all();
   }
@@ -142,34 +186,31 @@ void TriggerMonitor::ProcessBatch(const std::vector<db::ChangeRecord>& batch) {
   const odg::DupResult dup =
       odg::DupEngine::ComputeAffected(*graph_, changed, dup_options);
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.dup_runs;
-    if (batch.size() > 1) stats_.changes_coalesced += batch.size() - 1;
-    stats_.fanout.Add(static_cast<double>(dup.affected.size()));
-  }
+  dup_runs_->Increment();
+  if (batch.size() > 1) changes_coalesced_->Increment(batch.size() - 1);
+  fanout_->Observe(static_cast<double>(dup.affected.size()));
+
+  // Oldest commit in the batch: the floor every per-object propagation
+  // observation is stamped against.
+  TimeNs oldest = batch.front().committed_at;
+  for (const auto& c : batch) oldest = std::min(oldest, c.committed_at);
 
   const TimeNs apply_start = clock_->Now();
   if (options_.policy == CachePolicy::kDupUpdateInPlace) {
-    ApplyUpdateInPlace(dup);
+    ApplyUpdateInPlace(dup, oldest);
   } else {
-    ApplyInvalidate(dup);
+    ApplyInvalidate(dup, oldest);
   }
   const double apply_ms = ToMillis(clock_->Now() - apply_start);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.batch_apply_ms.Add(std::max(0.0, apply_ms));
-  }
+  batch_apply_ms_->Observe(std::max(0.0, apply_ms));
 
   // Batch latency: oldest commit in the batch -> now.
-  TimeNs oldest = batch.front().committed_at;
-  for (const auto& c : batch) oldest = std::min(oldest, c.committed_at);
   const double latency_ms = ToMillis(clock_->Now() - oldest);
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.update_latency_ms.Add(std::max(0.0, latency_ms));
+  update_latency_ms_->Observe(std::max(0.0, latency_ms));
 }
 
-void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
+void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup,
+                                        TimeNs oldest_commit) {
   // dup.affected carries a topological level per object: objects sharing a
   // level have no dependence path between them, so each level regenerates
   // in parallel; levels run in ascending order with a barrier between them
@@ -194,6 +235,9 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
     if (options_.fleet != nullptr) {
       options_.fleet->PutAll(name, body.value());
     }
+    // The fresh body is now what readers see: stamp commit -> cache-visible.
+    propagation_latency_ms_->Observe(
+        std::max(0.0, ToMillis(clock_->Now() - oldest_commit)));
     return Outcome::kUpdated;
   };
   auto tally = [&](Outcome outcome) {
@@ -236,24 +280,28 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.objects_updated += updated.load();
-  stats_.render_failures += failures.load();
-  stats_.objects_skipped += skipped.load();
-  stats_.renders_attempted += attempted.load();
-  stats_.render_jobs += jobs;
-  stats_.batch_levels.Add(static_cast<double>(dup.num_levels));
+  objects_updated_->Increment(updated.load());
+  render_failures_->Increment(failures.load());
+  objects_skipped_->Increment(skipped.load());
+  renders_attempted_->Increment(attempted.load());
+  render_jobs_->Increment(jobs);
+  batch_levels_->Observe(static_cast<double>(dup.num_levels));
 }
 
-void TriggerMonitor::ApplyInvalidate(const odg::DupResult& dup) {
+void TriggerMonitor::ApplyInvalidate(const odg::DupResult& dup,
+                                     TimeNs oldest_commit) {
   uint64_t invalidated = 0;
   for (const auto& obj : dup.affected) {
     const std::string name(graph_->name(obj.id));
-    if (cache_->Invalidate(name)) ++invalidated;
+    if (cache_->Invalidate(name)) {
+      ++invalidated;
+      // Staleness window closed by removal rather than refresh.
+      propagation_latency_ms_->Observe(
+          std::max(0.0, ToMillis(clock_->Now() - oldest_commit)));
+    }
     if (options_.fleet != nullptr) options_.fleet->InvalidateAll(name);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.objects_invalidated += invalidated;
+  objects_invalidated_->Increment(invalidated);
 }
 
 void TriggerMonitor::ApplyConservative(
@@ -275,14 +323,30 @@ void TriggerMonitor::ApplyConservative(
     invalidated += cache_->InvalidatePrefix(p);
     if (options_.fleet != nullptr) options_.fleet->InvalidatePrefixAll(p);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.objects_invalidated += invalidated;
-  stats_.fanout.Add(static_cast<double>(invalidated));
+  objects_invalidated_->Increment(invalidated);
+  fanout_->Observe(static_cast<double>(invalidated));
 }
 
 TriggerStats TriggerMonitor::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  // Assembled snapshot view over the registry cells — same field values the
+  // pre-registry struct carried, so benches and tests read it unchanged.
+  TriggerStats s;
+  s.changes_processed = changes_processed_->value();
+  s.batches = batches_->value();
+  s.dup_runs = dup_runs_->value();
+  s.objects_updated = objects_updated_->value();
+  s.objects_invalidated = objects_invalidated_->value();
+  s.objects_skipped = objects_skipped_->value();
+  s.render_failures = render_failures_->value();
+  s.changes_coalesced = changes_coalesced_->value();
+  s.render_jobs = render_jobs_->value();
+  s.renders_attempted = renders_attempted_->value();
+  s.update_latency_ms = update_latency_ms_->snapshot();
+  s.fanout = fanout_->snapshot();
+  s.batch_apply_ms = batch_apply_ms_->snapshot();
+  s.batch_levels = batch_levels_->snapshot();
+  s.propagation_latency_ms = propagation_latency_ms_->snapshot();
+  return s;
 }
 
 }  // namespace nagano::trigger

@@ -34,6 +34,7 @@
 #include "cache/fleet.h"
 #include "cache/object_cache.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -80,6 +81,9 @@ struct TriggerOptions {
   // update-in-place pushes each regenerated body to every fleet node and
   // invalidations propagate fleet-wide. Not owned.
   cache::CacheFleet* fleet = nullptr;
+
+  // Registry + instance label for the nagano_trigger_* metrics.
+  metrics::Options metrics;
 };
 
 // Default 1996-style mapping for the Olympic site: any scoring change blows
@@ -102,6 +106,11 @@ struct TriggerStats {
   Histogram fanout;                  // affected objects per batch
   Histogram batch_apply_ms;          // regenerate + distribute time per batch
   Histogram batch_levels;            // topological stages per update-in-place batch
+  // Commit -> cache-visible, per affected object (registry name
+  // nagano_dup_propagation_latency_ms). Finer-grained than
+  // update_latency_ms: each object is stamped the moment its fresh body
+  // (or its removal) becomes visible to readers, not at batch end.
+  Histogram propagation_latency_ms;
 };
 
 class TriggerMonitor {
@@ -130,13 +139,23 @@ class TriggerMonitor {
   // are phrased against this barrier.
   void Quiesce();
 
+  // True between Start() and Stop() — the /healthz "trigger running" probe.
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Changes enqueued but not yet applied to the cache. A bounded backlog is
+  // the paper's ≤60 s freshness guarantee in queue form.
+  uint64_t backlog() const;
+
   TriggerStats stats() const;
 
  private:
   void DispatchLoop();
   void ProcessBatch(const std::vector<db::ChangeRecord>& batch);
-  void ApplyUpdateInPlace(const odg::DupResult& dup);
-  void ApplyInvalidate(const odg::DupResult& dup);
+  // `oldest_commit` is the earliest committed_at in the batch; the apply
+  // paths stamp each object's commit -> cache-visible propagation latency
+  // against it.
+  void ApplyUpdateInPlace(const odg::DupResult& dup, TimeNs oldest_commit);
+  void ApplyInvalidate(const odg::DupResult& dup, TimeNs oldest_commit);
   void ApplyConservative(const std::vector<db::ChangeRecord>& batch);
 
   db::Database* db_;
@@ -153,11 +172,30 @@ class TriggerMonitor {
   uint64_t subscription_ = 0;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mutex_;  // guards stats_ and the quiesce counters
+  mutable std::mutex mutex_;  // guards the quiesce counters
   std::condition_variable quiesce_cv_;
   uint64_t enqueued_ = 0;
   uint64_t processed_ = 0;
-  TriggerStats stats_;
+
+  // Registry cells; the legacy TriggerStats view in stats() is assembled
+  // from these (histograms via snapshot()).
+  metrics::Counter* changes_processed_;
+  metrics::Counter* batches_;
+  metrics::Counter* dup_runs_;
+  metrics::Counter* objects_updated_;
+  metrics::Counter* objects_invalidated_;
+  metrics::Counter* objects_skipped_;
+  metrics::Counter* render_failures_;
+  metrics::Counter* changes_coalesced_;
+  metrics::Counter* render_jobs_;
+  metrics::Counter* renders_attempted_;
+  metrics::Histogram* update_latency_ms_;
+  metrics::Histogram* fanout_;
+  metrics::Histogram* batch_apply_ms_;
+  metrics::Histogram* batch_levels_;
+  // Commit -> cache-visible latency per affected object, the paper's ≤60 s
+  // freshness bound made measurable.
+  metrics::Histogram* propagation_latency_ms_;
 };
 
 }  // namespace nagano::trigger

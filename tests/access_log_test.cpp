@@ -31,6 +31,31 @@ TEST(AccessLogTest, PageIdsInterned) {
   for (const auto& r : records) EXPECT_EQ(r.page_id, records[0].page_id);
 }
 
+TEST(AccessLogTest, OverwideFieldsSaturateAndAreCounted) {
+  metrics::MetricRegistry registry;
+  metrics::Options options;
+  options.registry = &registry;
+  options.instance = "clamp";
+  AccessLog log(options);
+  metrics::Counter* clamps = registry.GetCounter(
+      "nagano_access_log_field_clamps_total", {{"site", "clamp"}});
+
+  // A response slower than uint32_t microseconds saturates instead of
+  // wrapping around to a fast-looking record.
+  const TimeNs too_slow = (static_cast<TimeNs>(UINT32_MAX) + 5) * kMicrosecond;
+  log.Append(0, "/slow", ServeClass::kCacheHit, 10, too_slow);
+  // A negative duration (misbehaving clock) pins to zero.
+  log.Append(0, "/backwards", ServeClass::kCacheHit, 10, -kSecond);
+  // In-range records never touch the counter.
+  log.Append(0, "/fine", ServeClass::kCacheHit, 10, FromMillis(5));
+
+  const auto records = log.Snapshot();
+  EXPECT_EQ(records[0].response_us, UINT32_MAX);
+  EXPECT_EQ(records[1].response_us, 0u);
+  EXPECT_EQ(records[2].response_us, 5'000u);
+  EXPECT_EQ(clamps->value(), 2u);
+}
+
 TEST(AccessLogTest, Clear) {
   AccessLog log;
   log.Append(0, "/x", ServeClass::kStatic, 1, 0);

@@ -301,10 +301,14 @@ TEST(TimeSeriesTest, AccumulateAndPeak) {
   EXPECT_EQ(ts.PeakSlot(), 7u);
 }
 
-TEST(TimeSeriesTest, OutOfRangeIgnored) {
+TEST(TimeSeriesTest, OutOfRangeIgnoredButCounted) {
   TimeSeries ts(4);
   ts.Add(99, 1.0);
+  ts.Add(4, 1.0);  // first slot past the end
   EXPECT_DOUBLE_EQ(ts.total(), 0.0);
+  EXPECT_EQ(ts.overflow(), 2u);
+  ts.Add(3, 1.0);
+  EXPECT_EQ(ts.overflow(), 2u);  // in-range adds don't count
 }
 
 TEST(TimeSeriesTest, AsciiChartHasOneRowPerSlot) {

@@ -1,0 +1,89 @@
+// Concurrency stress for the metrics registry: writer threads hammer
+// counters/gauges/histograms while reader threads take snapshots and render
+// the Prometheus exposition, and registrar threads race get-or-create on the
+// same identities. Run under TSan by the ci.sh tsan leg (`-L stress`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace nagano::metrics {
+namespace {
+
+TEST(MetricsStressTest, WritersSnapshottersAndRegistrarsRace) {
+  MetricRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kSnapshotters = 2;
+  constexpr int kRegistrars = 2;
+  constexpr uint64_t kIncrementsPerWriter = 50'000;
+
+  Counter* shared = registry.GetCounter("nagano_stress_shared_total");
+  Gauge* gauge = registry.GetGauge("nagano_stress_gauge");
+  Histogram* histogram = registry.GetHistogram("nagano_stress_ms");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kIncrementsPerWriter; ++i) {
+        shared->Increment();
+        gauge->Add(w % 2 == 0 ? 1.0 : -1.0);
+        if (i % 64 == 0) histogram->Observe(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (int s = 0; s < kSnapshotters; ++s) {
+    threads.emplace_back([&] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto samples = registry.Snapshot();
+        EXPECT_GE(samples.size(), 3u);
+        const std::string text = registry.RenderPrometheus();
+        EXPECT_FALSE(text.empty());
+        // The shared counter is monotone across snapshots.
+        const uint64_t now = shared->value();
+        EXPECT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+  // Get-or-create racing on the same identities must converge on one cell
+  // per identity and never invalidate cells already handed out.
+  std::atomic<int> distinct_mismatch{0};
+  for (int r = 0; r < kRegistrars; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2'000; ++i) {
+        Counter* c = registry.GetCounter(
+            "nagano_stress_race_total", {{"k", std::to_string(i % 16)}});
+        c->Increment();
+        if (registry.GetCounter("nagano_stress_shared_total") != shared) {
+          distinct_mismatch.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(shared->value(), kWriters * kIncrementsPerWriter);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);  // +1/-1 writers balance out
+  EXPECT_EQ(distinct_mismatch.load(), 0);
+  uint64_t race_total = 0;
+  for (int i = 0; i < 16; ++i) {
+    race_total += registry
+                      .GetCounter("nagano_stress_race_total",
+                                  {{"k", std::to_string(i)}})
+                      ->value();
+  }
+  EXPECT_EQ(race_total, kRegistrars * 2'000u);
+}
+
+}  // namespace
+}  // namespace nagano::metrics
