@@ -31,8 +31,8 @@ namespace {
 // complex failed).
 std::vector<double> PeakHourMbps(const char* failed_complex, uint64_t seed) {
   SimClock clock;
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
   if (failed_complex != nullptr) {
     if (!fabric.FailComplex(failed_complex).ok()) std::abort();
   }

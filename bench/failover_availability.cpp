@@ -32,8 +32,8 @@ int main() {
   SimClock clock;
   cluster::EventQueue queue(&clock);
   cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
 
   // Failure schedule (paper §4.2 failover chain, exercised top to bottom).
   struct Phase {

@@ -28,8 +28,8 @@ int main() {
 
   SimClock clock;
   cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
 
   const auto& regions = workload::Regions();
   const auto& complexes = workload::Complexes();

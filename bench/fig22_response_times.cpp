@@ -46,8 +46,8 @@ int main() {
 
   SimClock clock;
   cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
   Rng rng(22);
 
   bench::Row("%-4s %10s %10s %10s %10s", "Day", "US", "UK", "Japan", "AUS");

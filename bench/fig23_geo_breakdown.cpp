@@ -26,8 +26,8 @@ int main() {
   constexpr size_t kSamples = 600'000;
 
   SimClock clock;
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
 
   std::vector<uint64_t> by_region(regions.size(), 0);
   // served[region][complex]

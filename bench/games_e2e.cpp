@@ -91,8 +91,8 @@ int main() {
   bench::Row("4 complexes online, %zu objects prefetched at each", prefetched);
 
   cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
 
   // One day's feed, with requests interleaved by simulated time.
   workload::ResultFeed feed(master, workload::FeedOptions{}, 98);

@@ -39,8 +39,8 @@ struct MinuteResult {
 MinuteResult RunMinute(uint64_t total, double japan_share, uint64_t seed) {
   SimClock clock;
   cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
   const size_t japan = costs.RegionIndex("Japan").value();
   const size_t tokyo = costs.ComplexIndex("Tokyo").value();
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI matrix driver: plain build + full suite, ASan/UBSan + full suite,
-# TSan + the `stress`-labelled concurrency suites.
+# TSan + the `stress`-labelled concurrency suites, and the `chaos`
+# fault-injection drills (fixed seed + one randomized seed) under TSan.
 #
 #   ./ci.sh            # run the whole matrix
-#   ./ci.sh plain      # run a single leg: plain | asan | tsan
+#   ./ci.sh plain      # run a single leg: plain | asan | tsan | chaos
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -35,13 +36,29 @@ leg_asan()  { run_leg asan "address,undefined" ""; }
 # never scroll by as a warning in a passing job.
 leg_tsan()  { TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
               run_leg tsan "thread" "-L stress"; }
+# Chaos leg: the fault-injection drills, raced under TSan. Two passes —
+# the deterministic scripted schedule, then one randomized kill schedule
+# drawn from NAGANO_CHAOS_SEED (the test echoes the seed, so a CI failure
+# is always reproducible by exporting the printed value).
+leg_chaos() {
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_leg tsan "thread" "-L chaos"
+  local seed="${NAGANO_CHAOS_SEED:-$(( (RANDOM << 15) ^ RANDOM ^ $$ ))}"
+  echo "=== [chaos] randomized pass, NAGANO_CHAOS_SEED=${seed} ==="
+  ( cd build-ci-tsan && \
+    NAGANO_CHAOS_SEED="${seed}" \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest -V -L chaos )
+  echo "=== [chaos] OK ==="
+}
 
 case "${1:-all}" in
   plain) leg_plain ;;
   quick) leg_quick ;;
   asan)  leg_asan ;;
   tsan)  leg_tsan ;;
-  all)   leg_plain; leg_asan; leg_tsan ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|all]" >&2; exit 2 ;;
+  chaos) leg_chaos ;;
+  all)   leg_plain; leg_asan; leg_tsan; leg_chaos ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

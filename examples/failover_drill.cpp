@@ -2,6 +2,11 @@
 // at a time against the simulated four-complex fabric, narrating where
 // Japanese client traffic lands after each event.
 //
+// The failures are not injected by hand: a deterministic FaultPlan scripts
+// kWindow outages on simulated time and the fabric syncs the window edges
+// to its own Fail*/Recover* chain while routing. The drill just advances
+// the clock and probes.
+//
 // Run: build/examples/failover_drill
 
 #include <cstdio>
@@ -10,6 +15,7 @@
 #include "cluster/fabric.h"
 #include "cluster/net.h"
 #include "common/clock.h"
+#include "common/fault.h"
 
 using namespace nagano;
 using namespace nagano::cluster;
@@ -40,41 +46,63 @@ void Probe(ServingFabric& fabric, size_t region, const char* stage) {
   std::printf("  (worst %.0f ms)\n", worst_ms);
 }
 
+fault::FaultRule Window(const char* site, const char* operation,
+                        double from_s, double until_s) {
+  fault::FaultRule rule;
+  rule.subsystem = "fabric";
+  rule.site = site;
+  rule.operation = operation;
+  rule.kind = fault::FaultKind::kWindow;
+  rule.from = static_cast<TimeNs>(from_s * 1e9);
+  rule.until = static_cast<TimeNs>(until_s * 1e9);
+  return rule;
+}
+
 }  // namespace
 
 int main() {
   SimClock clock;
   RegionCosts costs = RegionCosts::OlympicDefault();
-  ServingFabric fabric(FabricConfig::Olympic(), RegionCosts::OlympicDefault(),
-                       &clock);
+
+  // The outage script: each component dies for a window of simulated time,
+  // overlapping so the drill descends the whole §4.2 chain.
+  fault::FaultPlan plan;
+  plan.seed = 1998;
+  plan.rules = {
+      Window("Tokyo", "node:0.0", 10, 70),       // one web node
+      Window("Tokyo", "frame:0", 20, 70),        // a whole SP2 frame
+      Window("Tokyo", "dispatcher:0", 30, 70),   // primary dispatcher
+      Window("Tokyo", "dispatcher:3", 40, 70),   // its secondary too
+      Window("Tokyo", "complex", 50, 70),        // the entire complex
+  };
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  FabricOptions options = FabricOptions::Olympic(costs, &clock);
+  options.faults = &faults;
+  ServingFabric fabric(std::move(options));
   const size_t japan = costs.RegionIndex("Japan").value();
 
   std::printf("Where do 120 Japanese requests land? "
               "(12 MSIPR addresses x 10 rounds)\n\n");
 
-  Probe(fabric, japan, "all healthy");
-
-  (void)fabric.FailNode("Tokyo", 0, 0);
-  Probe(fabric, japan, "one Tokyo web node down");
-
-  (void)fabric.FailFrame("Tokyo", 0);
-  Probe(fabric, japan, "a whole Tokyo SP2 frame down");
-
-  (void)fabric.FailDispatcher("Tokyo", 0);
-  Probe(fabric, japan, "Tokyo dispatcher 0 down (secondary serves)");
-
-  (void)fabric.FailDispatcher("Tokyo", 3);
-  Probe(fabric, japan, "dispatchers 0+3 down (addresses emigrate)");
-
-  (void)fabric.FailComplex("Tokyo");
-  Probe(fabric, japan, "Tokyo complex dark (cross-Pacific)");
-
-  (void)fabric.RecoverComplex("Tokyo");
-  (void)fabric.RecoverDispatcher("Tokyo", 0);
-  (void)fabric.RecoverDispatcher("Tokyo", 3);
-  (void)fabric.RecoverFrame("Tokyo", 0);
-  (void)fabric.RecoverNode("Tokyo", 0, 0);
-  Probe(fabric, japan, "everything recovered");
+  struct Stage {
+    double at_s;
+    const char* label;
+  };
+  const Stage stages[] = {
+      {5, "all healthy"},
+      {15, "one Tokyo web node down"},
+      {25, "a whole Tokyo SP2 frame down"},
+      {35, "Tokyo dispatcher 0 down (secondary serves)"},
+      {45, "dispatchers 0+3 down (addresses emigrate)"},
+      {55, "Tokyo complex dark (cross-Pacific)"},
+      {75, "everything recovered"},
+  };
+  for (const Stage& stage : stages) {
+    const TimeNs target = static_cast<TimeNs>(stage.at_s * 1e9);
+    clock.Advance(target - clock.Now());
+    Probe(fabric, japan, stage.label);
+  }
 
   std::printf("\nOperator traffic shifting (stop advertising Tokyo "
               "addresses, 1/12 each):\n\n");
@@ -85,6 +113,9 @@ int main() {
     Probe(fabric, japan, label);
     for (int a = 0; a < drop; ++a) (void)fabric.SetAdvertised("Tokyo", a, true);
   }
+
+  std::printf("\ninjected-fault timeline:\n%s",
+              faults.TimelineString().c_str());
 
   const auto stats = fabric.stats();
   std::printf("\ntotals: %llu requests, %llu served, %llu failed "

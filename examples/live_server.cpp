@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
   if (!site.PrefetchAll().ok()) return 1;
   site.StartTrigger();
 
-  http::HttpServer::Options http_options;
-  http_options.port = port;
-  http_options.metrics.instance = "master";
-  server::HttpFrontEnd front(&site.page_server(), http_options);
+  server::FrontEndOptions front_options;
+  front_options.http.port = port;
+  front_options.http.metrics.instance = "master";
+  server::HttpFrontEnd front(&site.page_server(), std::move(front_options));
   front.EnableAdmin(&site.metrics_registry(), [&site] { return site.Health(); });
   if (Status s = front.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());

@@ -2,8 +2,8 @@
 // Nagano, replicas in Tokyo and Schaumburg, second-tier replicas in
 // Columbus and Bethesda, with the Tokyo->Schaumburg recovery path.
 // Commits results at the master, advances simulated time, and shows the
-// log racing down the tree — then kills the master's US link and watches
-// Schaumburg re-parent onto Tokyo.
+// log racing down the tree — then a scripted fault kills Schaumburg's feed
+// link and the topology re-parents it onto Tokyo by itself.
 //
 // Run: build/examples/replication_tour
 
@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "db/database.h"
 #include "pagegen/olympic.h"
 #include "replication/replication.h"
@@ -35,7 +36,29 @@ void Show(const replication::ReplicationTopology& topology, TimeNs now) {
 
 int main() {
   SimClock clock;
-  replication::ReplicationTopology topology(&clock);
+
+  // Scripted fault: between t=3s and t=5s, Schaumburg's pull link errors
+  // once (max_fires=1) — exactly one failed replication round, the way a
+  // transatlantic circuit flaps. The topology must recover on its own.
+  fault::FaultPlan plan;
+  plan.seed = 5;  // Figure 5
+  fault::FaultRule link_down;
+  link_down.subsystem = "replication";
+  link_down.site = "Schaumburg";
+  link_down.operation = "pull";
+  link_down.kind = fault::FaultKind::kError;
+  link_down.error = ErrorCode::kUnavailable;
+  link_down.message = "Nagano->Schaumburg circuit down";
+  link_down.from = 3 * kSecond;
+  link_down.until = 5 * kSecond;
+  link_down.max_fires = 1;
+  plan.rules.push_back(link_down);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  replication::ReplicationOptions topology_options;
+  topology_options.clock = &clock;
+  topology_options.faults = &faults;
+  replication::ReplicationTopology topology(topology_options);
 
   pagegen::OlympicConfig config;
   config.num_sports = 3;
@@ -44,9 +67,9 @@ int main() {
   std::map<std::string, std::unique_ptr<db::Database>> dbs;
   for (const char* name :
        {"Nagano", "Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
-    dbs[name] = std::make_unique<db::Database>(&clock);
-    // Every replica carries the same schema; only the master is populated —
-    // content arrives via the log.
+    db::DatabaseOptions db_options;
+    db_options.clock = &clock;
+    dbs[name] = std::make_unique<db::Database>(std::move(db_options));
     // Replicas carry the schema only; the master is populated and content
     // reaches the replicas through the change log.
     const Status s = std::string(name) == "Nagano"
@@ -79,18 +102,18 @@ int main() {
   topology.PumpUntilQuiet();
   Show(topology, clock.Now());
 
-  std::printf("\n== Nagano->Schaumburg link lost; Tokyo takes over ==\n");
-  (void)topology.MarkDown("Nagano");
-  // Schaumburg discovers its feed is gone on the next pump and re-parents.
-  clock.Advance(kSecond);
-  topology.PumpUntilQuiet();
+  std::printf("\n== t=3s: fault plan kills the Nagano->Schaumburg link ==\n");
+  (void)pagegen::OlympicSite::RecordResult(dbs["Nagano"].get(), 2, 1, 7, 99.0);
+  clock.Advance(FromMillis(500));  // into the fault window
+  topology.PumpUntilQuiet();       // first pull errors -> auto re-parent
   Show(topology, clock.Now());
   const auto schaumburg = topology.StatusOf("Schaumburg");
-  std::printf("Schaumburg now feeding from: %s\n",
-              schaumburg.ok() ? schaumburg.value().feed.c_str() : "?");
+  std::printf("Schaumburg now feeding from: %s (failovers=%llu stalls=%llu)\n",
+              schaumburg.ok() ? schaumburg.value().feed.c_str() : "?",
+              static_cast<unsigned long long>(topology.failovers()),
+              static_cast<unsigned long long>(topology.stalls()));
 
-  std::printf("\n== master recovers; tree converges ==\n");
-  (void)topology.MarkUp("Nagano");
+  std::printf("\n== more results; the re-parented tree converges ==\n");
   (void)pagegen::OlympicSite::CompleteEvent(dbs["Nagano"].get(), 1);
   clock.Advance(2 * kSecond);
   topology.PumpUntilQuiet();
@@ -98,5 +121,8 @@ int main() {
   std::printf("converged: %s; apply lag: %s ms\n",
               topology.Converged() ? "yes" : "no",
               topology.apply_lag().Summary().c_str());
+
+  std::printf("\ninjected-fault timeline:\n%s",
+              faults.TimelineString().c_str());
   return 0;
 }

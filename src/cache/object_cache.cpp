@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <iterator>
 
 namespace nagano::cache {
 namespace {
@@ -13,14 +14,25 @@ size_t EntryFootprint(const std::string& key, const CachedObject& obj) {
 
 }  // namespace
 
+Status ObjectCache::Options::Validate() const {
+  if (shards == 0) {
+    return InvalidArgumentError("ObjectCache::Options.shards must be >= 1");
+  }
+  return Status::Ok();
+}
+
 ObjectCache::ObjectCache(Options options)
-    : capacity_bytes_(options.capacity_bytes),
-      clock_(options.clock ? options.clock : &RealClock::Instance()) {
-  const size_t n = std::max<size_t>(1, options.shards);
+    : capacity_bytes_(ValidateOrDie(options, "ObjectCache::Options")
+                          .capacity_bytes),
+      retain_stale_(options.retain_stale),
+      clock_(options.clock ? options.clock : &RealClock::Instance()),
+      faults_(options.faults) {
+  const size_t n = options.shards;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
 
   const auto scope = metrics::Scope::Resolve(options.metrics, "cache");
+  instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   hits_ = scope.GetCounter("nagano_cache_hits_total", "cache lookups served");
   misses_ = scope.GetCounter("nagano_cache_misses_total", "cache lookups missed");
   inserts_ = scope.GetCounter("nagano_cache_inserts_total", "new entries stored");
@@ -46,7 +58,7 @@ std::shared_ptr<const CachedObject> ObjectCache::Lookup(std::string_view key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
-  if (it == shard.map.end()) {
+  if (it == shard.map.end() || it->second.object->stale) {
     misses_->Increment();
     return nullptr;
   }
@@ -55,11 +67,30 @@ std::shared_ptr<const CachedObject> ObjectCache::Lookup(std::string_view key) {
   return it->second.object;
 }
 
-std::shared_ptr<const CachedObject> ObjectCache::Peek(std::string_view key) const {
+Result<std::shared_ptr<const CachedObject>> ObjectCache::TryLookup(
+    std::string_view key) {
+  if (Status s = fault::Check(faults_, "cache", instance_, "lookup");
+      !s.ok()) {
+    return s;
+  }
+  if (auto hit = Lookup(key)) return hit;
+  return NotFoundError("cache miss: " + std::string(key));
+}
+
+std::shared_ptr<const CachedObject> ObjectCache::LookupStale(
+    std::string_view key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
   return it == shard.map.end() ? nullptr : it->second.object;
+}
+
+std::shared_ptr<const CachedObject> ObjectCache::Peek(std::string_view key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end() || it->second.object->stale) return nullptr;
+  return it->second.object;
 }
 
 uint64_t ObjectCache::Put(std::string_view key, std::string body) {
@@ -74,7 +105,14 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
     const size_t old_footprint = EntryFootprint(k, *it->second.object);
     shard.bytes -= old_footprint;
     bytes_gauge_->Add(-static_cast<double>(old_footprint));
-    updates_->Increment();
+    if (it->second.object->stale) {
+      // Revival: the entry was logically absent, so this is an insert.
+      --shard.stale;
+      inserts_->Increment();
+      entries_gauge_->Add(1.0);
+    } else {
+      updates_->Increment();
+    }
   } else {
     inserts_->Increment();
     entries_gauge_->Add(1.0);
@@ -102,7 +140,9 @@ uint64_t ObjectCache::UpdateInPlace(std::string_view key, std::string body) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
-  if (it == shard.map.end()) return 0;
+  // Stale-retained counts as absent: a regeneration racing the
+  // invalidation must not resurrect the entry as live.
+  if (it == shard.map.end() || it->second.object->stale) return 0;
 
   const size_t old_footprint = EntryFootprint(it->first, *it->second.object);
   shard.bytes -= old_footprint;
@@ -133,18 +173,32 @@ void ObjectCache::Pin(std::string_view key, bool pinned) {
   if (it != shard.map.end()) it->second.pinned = pinned;
 }
 
+bool ObjectCache::InvalidateLocked(
+    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  if (it->second.object->stale) return false;  // already downgraded
+  if (retain_stale_) {
+    // Downgrade to last-known-good: same body and stored_at, marked stale.
+    auto stale_copy = std::make_shared<CachedObject>(*it->second.object);
+    stale_copy->stale = true;
+    it->second.object = std::move(stale_copy);
+    ++shard.stale;
+  } else {
+    const size_t footprint = EntryFootprint(it->first, *it->second.object);
+    shard.bytes -= footprint;
+    bytes_gauge_->Add(-static_cast<double>(footprint));
+    shard.map.erase(it);
+  }
+  invalidations_->Increment();
+  entries_gauge_->Add(-1.0);
+  return true;
+}
+
 bool ObjectCache::Invalidate(std::string_view key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string(key));
   if (it == shard.map.end()) return false;
-  const size_t footprint = EntryFootprint(it->first, *it->second.object);
-  shard.bytes -= footprint;
-  shard.map.erase(it);
-  invalidations_->Increment();
-  entries_gauge_->Add(-1.0);
-  bytes_gauge_->Add(-static_cast<double>(footprint));
-  return true;
+  return InvalidateLocked(shard, it);
 }
 
 size_t ObjectCache::InvalidatePrefix(std::string_view prefix) {
@@ -153,17 +207,11 @@ size_t ObjectCache::InvalidatePrefix(std::string_view prefix) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.map.begin(); it != shard.map.end();) {
-      if (it->first.starts_with(prefix)) {
-        const size_t footprint = EntryFootprint(it->first, *it->second.object);
-        shard.bytes -= footprint;
-        it = shard.map.erase(it);
-        invalidations_->Increment();
-        entries_gauge_->Add(-1.0);
-        bytes_gauge_->Add(-static_cast<double>(footprint));
+      auto next = std::next(it);
+      if (it->first.starts_with(prefix) && InvalidateLocked(shard, it)) {
         ++removed;
-      } else {
-        ++it;
       }
+      it = next;
     }
   }
   return removed;
@@ -173,10 +221,12 @@ void ObjectCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    entries_gauge_->Add(-static_cast<double>(shard.map.size()));
+    entries_gauge_->Add(
+        -static_cast<double>(shard.map.size() - shard.stale));
     bytes_gauge_->Add(-static_cast<double>(shard.bytes));
     shard.map.clear();
     shard.bytes = 0;
+    shard.stale = 0;
   }
 }
 
@@ -199,10 +249,16 @@ void ObjectCache::EvictLocked(Shard& shard, size_t budget) {
     if (victim == shard.map.end()) return;  // everything pinned
     const size_t footprint =
         EntryFootprint(victim->first, *victim->second.object);
+    const bool was_stale = victim->second.object->stale;
     shard.bytes -= footprint;
     shard.map.erase(victim);
     evictions_->Increment();
-    entries_gauge_->Add(-1.0);
+    // A stale retention already left the live-entry gauge at invalidation.
+    if (was_stale) {
+      --shard.stale;
+    } else {
+      entries_gauge_->Add(-1.0);
+    }
     bytes_gauge_->Add(-static_cast<double>(footprint));
   }
 }
@@ -220,7 +276,8 @@ CacheStats ObjectCache::stats() const {
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    total.entries += shard.map.size();
+    total.entries += shard.map.size() - shard.stale;
+    total.stale_entries += shard.stale;
     total.bytes += shard.bytes;
   }
   return total;
@@ -237,6 +294,7 @@ ObjectCache::Snapshot() const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     out.reserve(out.size() + shard.map.size());
     for (const auto& [key, entry] : shard.map) {
+      if (entry.object->stale) continue;  // consistency checks see live only
       out.emplace_back(key, entry.object);
     }
   }

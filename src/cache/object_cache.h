@@ -22,7 +22,10 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
+#include "common/result.h"
 #include "common/stats.h"
 
 namespace nagano::cache {
@@ -33,6 +36,7 @@ struct CachedObject {
   std::string body;
   uint64_t version = 0;   // monotonically increasing per key
   TimeNs stored_at = 0;   // cache clock at insert/update time
+  bool stale = false;     // invalidated but retained as last-known-good
 };
 
 struct CacheStats {
@@ -42,7 +46,8 @@ struct CacheStats {
   uint64_t updates_in_place = 0;
   uint64_t invalidations = 0;
   uint64_t evictions = 0;
-  size_t entries = 0;
+  size_t entries = 0;       // live entries; stale retentions not included
+  size_t stale_entries = 0; // invalidated-but-retained last-known-good copies
   size_t bytes = 0;
 
   double HitRate() const {
@@ -53,16 +58,25 @@ struct CacheStats {
 
 class ObjectCache {
  public:
-  struct Options {
+  struct Options : OptionsBase {
     size_t shards = 16;
     // 0 = unbounded (the Olympic configuration). When bounded, Put() evicts
     // least-recently-used unpinned entries until the new object fits.
     size_t capacity_bytes = 0;
+    // Keep invalidated entries as stale last-known-good copies instead of
+    // erasing them, so degraded serving (server/serving.h) has something to
+    // fall back to when regeneration fails. Stale entries are invisible to
+    // Lookup/Contains/size/Snapshot and reachable only via LookupStale.
+    bool retain_stale = false;
     const Clock* clock = nullptr;  // defaults to RealClock
+    // Consulted on TryLookup ({"cache", <instance>, "lookup"}). Null = off.
+    fault::FaultInjector* faults = nullptr;
     // Registry + instance label for the nagano_cache_* metrics. An empty
     // instance gets a unique auto-assigned label so two caches (fleet
     // nodes, test fixtures) never alias each other's cells.
     metrics::Options metrics;
+
+    Status Validate() const;
   };
 
   ObjectCache() : ObjectCache(Options()) {}
@@ -71,10 +85,25 @@ class ObjectCache {
   ObjectCache(const ObjectCache&) = delete;
   ObjectCache& operator=(const ObjectCache&) = delete;
 
-  // nullptr on miss. Hit/miss counters are updated either way.
+  // nullptr on miss. Hit/miss counters are updated either way. Never
+  // consults the fault injector and never returns stale entries; the
+  // serving path uses TryLookup so it can distinguish miss from outage.
   std::shared_ptr<const CachedObject> Lookup(std::string_view key);
 
+  // Fallible lookup: the value on a hit, kNotFound on a miss (including a
+  // stale-retained entry — a miss is a stable answer, see common/result.h),
+  // kUnavailable when the fault plan fails this lookup.
+  Result<std::shared_ptr<const CachedObject>> TryLookup(std::string_view key);
+
+  // Last-known-good read for degraded serving: returns the entry even when
+  // it is stale-retained (check ->stale; age is now - stored_at). Bypasses
+  // the fault injector — the whole point is to keep working during an
+  // outage — and counts neither hit nor miss. nullptr when nothing at all
+  // is retained for the key.
+  std::shared_ptr<const CachedObject> LookupStale(std::string_view key) const;
+
   // Peek without touching statistics or LRU order (used by monitoring).
+  // Like Lookup, does not see stale-retained entries.
   std::shared_ptr<const CachedObject> Peek(std::string_view key) const;
 
   // Insert or update-in-place. The version is bumped past the entry's
@@ -84,14 +113,16 @@ class ObjectCache {
   // Update-in-place only if `key` is present; returns the new version, or 0
   // without storing when the key is absent. The trigger monitor's
   // concurrent re-render path uses this so a regeneration racing an
-  // invalidation can never resurrect a dropped entry.
+  // invalidation can never resurrect a dropped entry; a stale-retained
+  // entry counts as absent for the same reason.
   uint64_t UpdateInPlace(std::string_view key, std::string body);
 
   // Pinned entries are never evicted by the LRU (the paper's hot pages,
   // which were "never invalidated from the cache").
   void Pin(std::string_view key, bool pinned);
 
-  // True if the key was present.
+  // True if the key was present (and live). Under retain_stale the entry is
+  // downgraded to a stale last-known-good copy instead of being erased.
   bool Invalidate(std::string_view key);
 
   // Invalidates every key starting with `prefix`; returns the count. This
@@ -123,6 +154,7 @@ class ObjectCache {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Entry> map;
     size_t bytes = 0;
+    size_t stale = 0;  // entries currently held as stale-retained
   };
 
   Shard& ShardFor(std::string_view key);
@@ -130,10 +162,17 @@ class ObjectCache {
   // Evict LRU unpinned entries from `shard` until its bytes fit the
   // per-shard budget. Caller holds the shard lock.
   void EvictLocked(Shard& shard, size_t budget);
+  // Erase or (under retain_stale) downgrade one entry. Caller holds the
+  // shard lock; returns true when the entry was live before the call.
+  bool InvalidateLocked(Shard& shard,
+                        std::unordered_map<std::string, Entry>::iterator it);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t capacity_bytes_;
+  bool retain_stale_;
   const Clock* clock_;
+  fault::FaultInjector* faults_;
+  std::string instance_;  // fault-injection site name (== metrics label)
   std::atomic<uint64_t> lru_clock_{0};
 
   // Registry-owned cells; stats() is a thin snapshot view over them.

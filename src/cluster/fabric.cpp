@@ -2,27 +2,69 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace nagano::cluster {
 
-FabricConfig FabricConfig::Olympic() {
-  FabricConfig config;
-  config.complexes = {
+FabricOptions FabricOptions::Olympic() {
+  FabricOptions options;
+  options.complexes = {
       {"Schaumburg", 4, 8, 4},
       {"Columbus", 3, 8, 4},
       {"Bethesda", 3, 8, 4},
       {"Tokyo", 3, 8, 4},
   };
-  return config;
+  return options;
 }
 
-ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
-                             const Clock* clock,
-                             const metrics::Options& metrics_options)
-    : config_(std::move(config)), costs_(std::move(costs)), clock_(clock) {
-  assert(clock_ != nullptr);
-  assert(costs_.num_complexes() == config_.complexes.size());
-  const auto scope = metrics::Scope::Resolve(metrics_options, "fabric");
+Status FabricOptions::Validate() const {
+  if (complexes.empty()) {
+    return InvalidArgumentError("FabricOptions.complexes must be non-empty");
+  }
+  for (const ComplexConfig& cc : complexes) {
+    if (cc.name.empty()) {
+      return InvalidArgumentError("ComplexConfig.name must be non-empty");
+    }
+    if (cc.frames < 1 || cc.nodes_per_frame < 1 || cc.dispatchers < 1) {
+      return InvalidArgumentError("complex " + cc.name +
+                                  " needs >= 1 frame, node and dispatcher");
+    }
+  }
+  if (num_addresses < 1) {
+    return InvalidArgumentError("FabricOptions.num_addresses must be >= 1");
+  }
+  if (retry_penalty < 0) {
+    return InvalidArgumentError("FabricOptions.retry_penalty must be >= 0");
+  }
+  if (clock == nullptr) {
+    return InvalidArgumentError("FabricOptions.clock is required");
+  }
+  if (costs.num_complexes() != complexes.size()) {
+    return InvalidArgumentError(
+        "FabricOptions.costs must cover exactly the configured complexes");
+  }
+  for (size_t ci = 0; ci < complexes.size(); ++ci) {
+    if (costs.complex_name(ci) != complexes[ci].name) {
+      return InvalidArgumentError(
+          "cost table order must match complex order (mismatch at " +
+          complexes[ci].name + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+FabricOptions FabricOptions::Olympic(RegionCosts costs, const Clock* clock) {
+  FabricOptions options = Olympic();
+  options.costs = std::move(costs);
+  options.clock = clock;
+  return options;
+}
+
+ServingFabric::ServingFabric(FabricOptions options)
+    : options_((ValidateOrDie(options, "FabricOptions"), std::move(options))),
+      clock_(options_.clock),
+      faults_(options_.faults) {
+  const auto scope = metrics::Scope::Resolve(options_.metrics, "fabric");
   requests_ =
       scope.GetCounter("nagano_fabric_requests_total", "requests routed");
   served_ = scope.GetCounter("nagano_fabric_served_total", "requests served");
@@ -30,11 +72,9 @@ ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
                              "requests no complex could serve");
   retries_ = scope.GetCounter("nagano_fabric_retries_total",
                               "dead-node / dead-dispatcher re-routes");
-  complexes_.reserve(config_.complexes.size());
-  for (size_t ci = 0; ci < config_.complexes.size(); ++ci) {
-    const ComplexConfig& cc = config_.complexes[ci];
-    assert(costs_.complex_name(ci) == cc.name &&
-           "cost table order must match complex order");
+  complexes_.reserve(options_.complexes.size());
+  for (size_t ci = 0; ci < options_.complexes.size(); ++ci) {
+    const ComplexConfig& cc = options_.complexes[ci];
     Complex cx;
     cx.name = cc.name;
     cx.served = scope.registry->GetCounter(
@@ -45,20 +85,20 @@ ServingFabric::ServingFabric(FabricConfig config, RegionCosts costs,
       frame.nodes.resize(static_cast<size_t>(cc.nodes_per_frame));
     }
     cx.dispatchers.resize(static_cast<size_t>(cc.dispatchers));
-    cx.advertised.assign(static_cast<size_t>(config_.num_addresses), true);
+    cx.advertised.assign(static_cast<size_t>(options_.num_addresses), true);
     // Paper §4.2: with 4 dispatchers and 12 addresses, each box is primary
     // for 3 addresses and secondary for 2 others.
     const int per_primary =
-        (config_.num_addresses + cc.dispatchers - 1) / cc.dispatchers;
+        (options_.num_addresses + cc.dispatchers - 1) / cc.dispatchers;
     for (int d = 0; d < cc.dispatchers; ++d) {
       for (int k = 0; k < per_primary; ++k) {
         const int addr = d * per_primary + k;
-        if (addr < config_.num_addresses) {
+        if (addr < options_.num_addresses) {
           cx.dispatchers[static_cast<size_t>(d)].primary_addresses.push_back(addr);
         }
       }
       for (int k = 0; k < 2; ++k) {
-        const int addr = (d * per_primary + per_primary + k) % config_.num_addresses;
+        const int addr = (d * per_primary + per_primary + k) % options_.num_addresses;
         cx.dispatchers[static_cast<size_t>(d)].secondary_addresses.push_back(addr);
       }
     }
@@ -101,7 +141,7 @@ bool ServingFabric::SelectTarget(size_t region, int address, uint32_t excluded,
     if (excluded & (1u << ci)) continue;
     const Complex& cx = complexes_[ci];
     if (!cx.up || !cx.advertised[static_cast<size_t>(address)]) continue;
-    const int base = costs_.Cost(region, ci);
+    const int base = options_.costs.Cost(region, ci);
     // Primary dispatcher for this address, then secondaries at a penalty —
     // the "differing costs ... depending on whether the Net Dispatcher was
     // a primary or secondary server of an IP address".
@@ -117,7 +157,7 @@ bool ServingFabric::SelectTarget(size_t region, int address, uint32_t excluded,
       } else if (std::find(d.secondary_addresses.begin(),
                            d.secondary_addresses.end(),
                            address) != d.secondary_addresses.end()) {
-        cost = base + config_.secondary_cost_penalty;
+        cost = base + options_.secondary_cost_penalty;
       }
       if (cost < cx_cost) {
         cx_cost = cost;
@@ -166,15 +206,49 @@ ServingFabric::Node* ServingFabric::PickNode(Complex& cx, int* retries) {
   }
 }
 
+void ServingFabric::ApplyWindow(const fault::FaultRule& rule, bool active) {
+  // rule.site names the complex, rule.operation the component within it.
+  const std::string_view op = rule.operation;
+  int a = -1, b = -1;
+  if (op == "complex") {
+    if (active) (void)FailComplex(rule.site);
+    else (void)RecoverComplex(rule.site);
+  } else if (std::sscanf(rule.operation.c_str(), "frame:%d", &a) == 1) {
+    if (active) (void)FailFrame(rule.site, a);
+    else (void)RecoverFrame(rule.site, a);
+  } else if (std::sscanf(rule.operation.c_str(), "dispatcher:%d", &a) == 1) {
+    if (active) (void)FailDispatcher(rule.site, a);
+    else (void)RecoverDispatcher(rule.site, a);
+  } else if (std::sscanf(rule.operation.c_str(), "node:%d.%d", &a, &b) == 2) {
+    if (active) (void)FailNode(rule.site, a, b);
+    else (void)RecoverNode(rule.site, a, b);
+  }
+  // Unknown operations are ignored: the plan may script components of
+  // other fabrics sharing the injector.
+}
+
+void ServingFabric::SyncFaults() {
+  if (faults_ == nullptr) return;
+  for (const fault::FaultRule* rule : faults_->WindowRules("fabric")) {
+    const bool active =
+        faults_->ActiveWindow("fabric", rule->site, rule->operation);
+    bool& prev = window_state_[rule];  // default-constructed false
+    if (active == prev) continue;
+    prev = active;
+    ApplyWindow(*rule, active);
+  }
+}
+
 RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
                                     size_t bytes, const LinkClass& link) {
+  SyncFaults();
   RequestOutcome out;
   out.region = region;
   requests_->Increment();
 
   // Round-robin DNS hands the client one of the twelve addresses.
   const int address =
-      static_cast<int>(dns_counter_++ % static_cast<uint64_t>(config_.num_addresses));
+      static_cast<int>(dns_counter_++ % static_cast<uint64_t>(options_.num_addresses));
 
   uint32_t excluded = 0;
   int retries = 0;
@@ -205,8 +279,8 @@ RequestOutcome ServingFabric::Route(size_t region, TimeNs cpu_cost,
     out.served = true;
     out.complex_index = ci;
     out.retries = retries;
-    out.response_time = costs_.Rtt(region, ci) +
-                        retries * config_.retry_penalty + out.queue_delay +
+    out.response_time = options_.costs.Rtt(region, ci) +
+                        retries * options_.retry_penalty + out.queue_delay +
                         cpu_cost + TransferTime(link, bytes);
     served_->Increment();
     retries_->Increment(static_cast<uint64_t>(retries));
@@ -321,7 +395,7 @@ Status ServingFabric::SetAdvertised(std::string_view complex_name, int address,
                                     bool advertised) {
   Complex* cx = FindComplex(complex_name);
   if (!cx) return NotFoundError("no complex " + std::string(complex_name));
-  if (address < 0 || address >= config_.num_addresses) {
+  if (address < 0 || address >= options_.num_addresses) {
     return InvalidArgumentError("address out of range");
   }
   cx->advertised[static_cast<size_t>(address)] = advertised;

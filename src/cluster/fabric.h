@@ -18,11 +18,14 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/net.h"
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -36,15 +39,42 @@ struct ComplexConfig {
   int dispatchers = 4;       // Network Dispatcher boxes
 };
 
-struct FabricConfig {
+struct FabricOptions : OptionsBase {
   std::vector<ComplexConfig> complexes;
   int num_addresses = 12;                    // MSIPR SIPR addresses
   int secondary_cost_penalty = 10;           // OSPF cost bump for secondaries
   TimeNs retry_penalty = FromMillis(400);    // hit on an undetected-dead node
 
+  // Region cost/RTT table; must list the same complexes, in the same order,
+  // as `complexes`.
+  RegionCosts costs;
+  // Simulated time source for queueing. Required (no RealClock default: the
+  // fabric is a simulator component).
+  const Clock* clock = nullptr;
+  // kWindow rules under subsystem "fabric" drive scripted outages: the site
+  // is the complex name and the operation names the component —
+  //   "complex"              the whole complex
+  //   "frame:<f>"            one SP2 frame
+  //   "dispatcher:<d>"       one Network Dispatcher
+  //   "node:<f>.<n>"         one serving node
+  // Route() syncs window edges to Fail*/Recover* calls, so a FaultPlan
+  // schedule produces the §4.2 failover chain without hand-written
+  // drill code. Null = injection off.
+  fault::FaultInjector* faults = nullptr;
+  // Registry + instance label for the nagano_fabric_* metrics.
+  metrics::Options metrics;
+
+  Status Validate() const;
+
   // The paper's deployment: 13 SP2s — four in Schaumburg, three elsewhere.
-  static FabricConfig Olympic();
+  // Fill in costs/clock before constructing the fabric.
+  static FabricOptions Olympic();
+  // Same, with the cost table and clock filled in.
+  static FabricOptions Olympic(RegionCosts costs, const Clock* clock);
 };
+
+// Old name for the options struct, kept for existing call sites.
+using FabricConfig = FabricOptions;
 
 struct RequestOutcome {
   bool served = false;
@@ -71,10 +101,7 @@ struct FabricStats {
 
 class ServingFabric {
  public:
-  // `clock` provides simulated time for queueing; `costs` must list the
-  // same complexes, in the same order, as `config`.
-  ServingFabric(FabricConfig config, RegionCosts costs, const Clock* clock,
-                const metrics::Options& metrics_options = {});
+  explicit ServingFabric(FabricOptions options);
 
   // Routes one request originating in `region` (index into the cost
   // table). cpu_cost is the server-side service time (from the paper's
@@ -139,6 +166,11 @@ class ServingFabric {
   Complex* FindComplex(std::string_view name);
   const Complex* FindComplexConst(std::string_view name) const;
 
+  // Applies pending fault-plan window edges (fail on entry, recover on
+  // exit) before routing. No-op without an injector.
+  void SyncFaults();
+  void ApplyWindow(const fault::FaultRule& rule, bool active);
+
   // Lowest-cost (complex, dispatcher) advertising `address` for `region`,
   // excluding complexes in `excluded` (bitmask). Returns false if none.
   bool SelectTarget(size_t region, int address, uint32_t excluded,
@@ -148,11 +180,13 @@ class ServingFabric {
   // May flip advisor state and charge retries.
   Node* PickNode(Complex& cx, int* retries);
 
-  FabricConfig config_;
-  RegionCosts costs_;
+  FabricOptions options_;
   const Clock* clock_;
+  fault::FaultInjector* faults_;
   std::vector<Complex> complexes_;
   uint64_t dns_counter_ = 0;  // round-robin DNS
+  // Last observed state of each fault-plan window rule (edge detection).
+  std::unordered_map<const fault::FaultRule*, bool> window_state_;
 
   // Registry cells behind the legacy stats() view.
   metrics::Counter* requests_;

@@ -40,6 +40,8 @@ TimeNs TransferTime(const LinkClass& link, size_t bytes);
 // times. Indexed [region][complex].
 class RegionCosts {
  public:
+  // Empty table; FabricOptions::Validate rejects it until filled in.
+  RegionCosts() = default;
   RegionCosts(std::vector<std::string> regions,
               std::vector<std::string> complexes);
 

@@ -1,16 +1,23 @@
 #include "cluster/sim.h"
 
-#include <cassert>
-
 namespace nagano::cluster {
 
-void EventQueue::At(TimeNs t, std::function<void()> fn) {
-  assert(t >= clock_->Now());
+Status EventQueue::At(TimeNs t, std::function<void()> fn) {
+  if (t < clock_->Now()) {
+    return InvalidArgumentError("EventQueue::At: t=" + std::to_string(t) +
+                                " is before now=" +
+                                std::to_string(clock_->Now()));
+  }
   events_.push(Event{t, next_seq_++, std::move(fn)});
+  return Status::Ok();
 }
 
-void EventQueue::After(TimeNs delay, std::function<void()> fn) {
-  At(clock_->Now() + delay, std::move(fn));
+Status EventQueue::After(TimeNs delay, std::function<void()> fn) {
+  if (delay < 0) {
+    return InvalidArgumentError("EventQueue::After: negative delay " +
+                                std::to_string(delay));
+  }
+  return At(clock_->Now() + delay, std::move(fn));
 }
 
 void EventQueue::RunUntil(TimeNs deadline) {

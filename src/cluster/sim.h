@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/result.h"
 
 namespace nagano::cluster {
 
@@ -15,10 +16,12 @@ class EventQueue {
  public:
   explicit EventQueue(SimClock* clock) : clock_(clock) {}
 
-  // Schedules fn at absolute simulated time t (>= now).
-  void At(TimeNs t, std::function<void()> fn);
-  // Schedules fn after a delay from the current simulated time.
-  void After(TimeNs delay, std::function<void()> fn);
+  // Schedules fn at absolute simulated time t. Scheduling in the past is a
+  // caller bug and returns kInvalidArgument (the event is dropped); it used
+  // to assert, which hid the error in release builds.
+  Status At(TimeNs t, std::function<void()> fn);
+  // Schedules fn after a delay (>= 0) from the current simulated time.
+  Status After(TimeNs delay, std::function<void()> fn);
 
   // Runs events with time <= deadline, advancing the clock to each event's
   // time; finally advances the clock to the deadline.

@@ -1,0 +1,205 @@
+#include "common/fault.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nagano::fault {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "ERROR";
+    case FaultKind::kDelay:
+      return "DELAY";
+    case FaultKind::kDuplicate:
+      return "DUPLICATE";
+    case FaultKind::kWindow:
+      return "WINDOW";
+  }
+  return "UNKNOWN";
+}
+
+Status FaultPlan::Validate() const {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    auto fail = [&](const std::string& what) {
+      return InvalidArgumentError("FaultPlan.rules[" + std::to_string(i) +
+                                  "]: " + what);
+    };
+    if (rule.kind == FaultKind::kError && rule.error == ErrorCode::kOk) {
+      return fail("kError rule must carry a non-OK error code");
+    }
+    if (rule.kind == FaultKind::kDelay && rule.delay <= 0) {
+      return fail("kDelay rule must carry delay > 0");
+    }
+    if (rule.kind == FaultKind::kDuplicate && rule.duplicates == 0) {
+      return fail("kDuplicate rule must carry duplicates > 0");
+    }
+    if (rule.until <= rule.from) {
+      return fail("window is empty (until <= from)");
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      return fail("probability must be in [0, 1]");
+    }
+  }
+  return Status::Ok();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, const Clock* clock)
+    : plan_(std::move(plan)),
+      clock_(clock != nullptr ? clock : &RealClock::Instance()) {
+  ValidateOrDie(plan_, "FaultPlan");
+  states_.resize(plan_.rules.size());
+  for (size_t i = 0; i < states_.size(); ++i) {
+    // Mix the rule index through SplitMix (inside Rng::Seed) so rule streams
+    // are unrelated even for adjacent indices.
+    states_[i].rng.Seed(plan_.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+  const auto scope = metrics::Scope::Resolve(plan_.metrics, "fault");
+  injected_ = scope.GetCounter("nagano_fault_injected_total",
+                               "faults injected by the fault plan");
+}
+
+bool FaultInjector::Matches(const FaultRule& rule, std::string_view subsystem,
+                            std::string_view site,
+                            std::string_view operation) const {
+  return (rule.subsystem.empty() || rule.subsystem == subsystem) &&
+         (rule.site.empty() || rule.site == site) &&
+         (rule.operation.empty() || rule.operation == operation);
+}
+
+void FaultInjector::Record(const FaultRule& rule, TimeNs now, bool onset) {
+  FaultEvent e;
+  e.at = now;
+  e.subsystem = rule.subsystem.empty() ? "*" : rule.subsystem;
+  e.site = rule.site.empty() ? "*" : rule.site;
+  e.operation = rule.operation.empty() ? "*" : rule.operation;
+  e.kind = rule.kind;
+  e.error = rule.kind == FaultKind::kError || rule.kind == FaultKind::kWindow
+                ? rule.error
+                : ErrorCode::kOk;
+  e.delay = rule.kind == FaultKind::kDelay ? rule.delay : 0;
+  e.onset = onset;
+  timeline_.push_back(std::move(e));
+  injected_->Increment();
+}
+
+FaultAction FaultInjector::Decide(std::string_view subsystem,
+                                  std::string_view site,
+                                  std::string_view operation) {
+  FaultAction action;
+  const TimeNs now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.kind == FaultKind::kWindow) continue;  // queried via ActiveWindow
+    if (now < rule.from || now >= rule.until) continue;
+    if (!Matches(rule, subsystem, site, operation)) continue;
+    RuleState& state = states_[i];
+    if (state.matched++ < rule.skip_first) continue;
+    if (state.fired >= rule.max_fires) continue;
+    if (rule.probability < 1.0 && !state.rng.NextBool(rule.probability)) {
+      continue;
+    }
+    ++state.fired;
+    Record(rule, now, /*onset=*/true);
+    switch (rule.kind) {
+      case FaultKind::kError:
+        if (action.status.ok()) {
+          action.status = Status(
+              rule.error, rule.message.empty()
+                              ? "injected fault: " + std::string(subsystem) +
+                                    "/" + std::string(site) + "/" +
+                                    std::string(operation)
+                              : rule.message);
+        }
+        break;
+      case FaultKind::kDelay:
+        action.delay += rule.delay;
+        break;
+      case FaultKind::kDuplicate:
+        action.duplicates += rule.duplicates;
+        break;
+      case FaultKind::kWindow:
+        break;
+    }
+  }
+  return action;
+}
+
+bool FaultInjector::ActiveWindow(std::string_view subsystem,
+                                 std::string_view site,
+                                 std::string_view operation) {
+  const TimeNs now = clock_->Now();
+  bool active = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.kind != FaultKind::kWindow) continue;
+    if (!Matches(rule, subsystem, site, operation)) continue;
+    RuleState& state = states_[i];
+    const bool in_window = now >= rule.from && now < rule.until;
+    if (in_window && !state.window_decided) {
+      state.window_decided = true;
+      state.window_fires = rule.probability >= 1.0 ||
+                           state.rng.NextBool(rule.probability);
+    }
+    const bool fires = in_window && state.window_fires;
+    if (fires != state.window_active) {
+      state.window_active = fires;
+      Record(rule, now, /*onset=*/fires);
+    }
+    if (!in_window) state.window_decided = false;  // re-roll next window pass
+    active = active || fires;
+  }
+  return active;
+}
+
+std::vector<const FaultRule*> FaultInjector::WindowRules(
+    std::string_view subsystem) const {
+  std::vector<const FaultRule*> out;
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != FaultKind::kWindow) continue;
+    if (!rule.subsystem.empty() && rule.subsystem != subsystem) continue;
+    out.push_back(&rule);
+  }
+  return out;
+}
+
+std::vector<FaultEvent> FaultInjector::Timeline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeline_;
+}
+
+std::string FaultInjector::TimelineString() const {
+  const std::vector<FaultEvent> events = Timeline();
+  std::string out;
+  char line[256];
+  for (const FaultEvent& e : events) {
+    std::string detail;
+    switch (e.kind) {
+      case FaultKind::kError:
+        detail = ErrorCodeName(e.error);
+        break;
+      case FaultKind::kDelay:
+        std::snprintf(line, sizeof(line), "+%.3fms",
+                      static_cast<double>(e.delay) / 1e6);
+        detail = line;
+        break;
+      case FaultKind::kDuplicate:
+        detail = "dup";
+        break;
+      case FaultKind::kWindow:
+        detail = e.onset ? "begin" : "end";
+        break;
+    }
+    std::snprintf(line, sizeof(line), "  t=%8.3fs %s/%s/%s %s %s\n",
+                  static_cast<double>(e.at) / 1e9, e.subsystem.c_str(),
+                  e.site.c_str(), e.operation.c_str(),
+                  std::string(FaultKindName(e.kind)).c_str(), detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nagano::fault

@@ -1,0 +1,50 @@
+// The unified Options convention (ISSUE 3 API redesign).
+//
+// Every configurable subsystem exposes one `XxxOptions` struct that
+//   * derives from nagano::OptionsBase (a tag; C++20 aggregates stay
+//     brace-initializable with a base),
+//   * carries every knob the subsystem accepts — tuning values, the Clock,
+//     the metrics scope, and the optional fault::FaultInjector — so a
+//     constructor signature is always `Xxx(deps..., XxxOptions)`, and
+//   * implements `Status Validate() const`, returning kInvalidArgument with
+//     a message naming the offending field.
+//
+// Construction contract: fallible factories (ServingSite::Create) return
+// the Validate() error as a Result; plain constructors call
+// ValidateOrDie() so a bad configuration fails loudly at construction
+// time, not as an assert deep inside a serving thread hours later. Callers
+// who want graceful handling call options.Validate() themselves first.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "common/result.h"
+
+namespace nagano {
+
+// Tag base for every XxxOptions struct. Intentionally empty: it exists so
+// generic helpers (ValidateOrDie) can refuse non-Options types and so the
+// convention is discoverable by grep.
+struct OptionsBase {};
+
+[[noreturn]] inline void DieOnInvalidOptions(const Status& status,
+                                             const char* what) {
+  std::fprintf(stderr, "FATAL: invalid %s: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+// Validates `options` and aborts with a readable message on failure.
+// Returns the options by const reference so constructors can validate in a
+// member-initializer chain.
+template <typename O>
+const O& ValidateOrDie(const O& options, const char* what) {
+  static_assert(std::is_base_of_v<OptionsBase, O>,
+                "ValidateOrDie requires an OptionsBase-derived Options");
+  if (Status s = options.Validate(); !s.ok()) DieOnInvalidOptions(s, what);
+  return options;
+}
+
+}  // namespace nagano

@@ -15,6 +15,35 @@ namespace nagano {
 
 // Error categories, deliberately coarse: callers branch on category, the
 // message carries the detail for logs.
+//
+// Error-category contract — every fallible nagano API picks its code from
+// this table, so retry/degradation logic can branch uniformly:
+//
+//   kNotFound            The named thing does not exist. NOT a failure of
+//                        the operation itself: a cache miss, an unknown
+//                        page, an absent record. Never retry — repeat calls
+//                        return the same answer until someone creates it.
+//   kAlreadyExists       Create-style call collided with an existing name.
+//   kInvalidArgument     The request itself is malformed (bad Options
+//                        field, scheduling an event in the past). Fix the
+//                        caller; retrying is a bug.
+//   kFailedPrecondition  The request is well-formed but the system is in
+//                        the wrong state for it (Start() twice, feed not
+//                        attached). Caller must change the state first.
+//   kUnavailable         TRANSIENT: node down, link down, queue closed,
+//                        injected outage. The canonical retry-with-backoff
+//                        code; the serving path degrades to a stale cached
+//                        page when retries exhaust (see server/serving.h).
+//   kResourceExhausted   TRANSIENT: out of queue slots / budget. Retryable
+//                        after backoff, same as kUnavailable.
+//   kDataLoss            A gap or corruption was detected (replication
+//                        seqno gap, corrupt message). Not retryable as-is;
+//                        recovery means resynchronising from the feed.
+//   kInternal            Invariant violation — a bug, not an environment
+//                        condition.
+//
+// IsTransient() encodes the retryable subset; everything else is either a
+// stable answer (kNotFound), a caller bug, or requires explicit recovery.
 enum class ErrorCode {
   kOk = 0,
   kNotFound,
@@ -28,6 +57,14 @@ enum class ErrorCode {
 };
 
 std::string_view ErrorCodeName(ErrorCode code);
+
+// True for the codes a caller may retry with backoff (kUnavailable,
+// kResourceExhausted). kNotFound is deliberately excluded: a miss is a
+// stable answer, not a fault.
+constexpr bool IsTransient(ErrorCode code) {
+  return code == ErrorCode::kUnavailable ||
+         code == ErrorCode::kResourceExhausted;
+}
 
 // A success-or-error value. Cheap to copy on success (one enum); the error
 // message is only allocated on failure.
@@ -56,6 +93,10 @@ class Status {
   ErrorCode code_;
   std::string message_;
 };
+
+inline bool IsTransient(const Status& status) {
+  return IsTransient(status.code());
+}
 
 inline Status NotFoundError(std::string msg) {
   return Status(ErrorCode::kNotFound, std::move(msg));

@@ -5,13 +5,29 @@
 
 namespace nagano::core {
 
+Status SiteOptions::Validate() const {
+  if (cache_shards < 1) {
+    return InvalidArgumentError("SiteOptions.cache_shards must be >= 1");
+  }
+  if (Status s = trigger.Validate(); !s.ok()) return s;
+  if (Status s = retry.Validate(); !s.ok()) return s;
+  if (default_deadline < 0) {
+    return InvalidArgumentError("SiteOptions.default_deadline must be >= 0");
+  }
+  return Status::Ok();
+}
+
 ServingSite::ServingSite(SiteOptions options)
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : &RealClock::Instance()) {}
 
 Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
-  auto database = std::make_unique<db::Database>(
-      options.clock ? options.clock : &RealClock::Instance(), options.metrics);
+  if (Status s = options.Validate(); !s.ok()) return s;
+  db::DatabaseOptions db_options;
+  db_options.clock = options.clock ? options.clock : &RealClock::Instance();
+  db_options.faults = options.faults;
+  db_options.metrics = options.metrics;
+  auto database = std::make_unique<db::Database>(std::move(db_options));
   if (Status s = pagegen::OlympicSite::Build(options.olympic, database.get());
       !s.ok()) {
     return s;
@@ -21,6 +37,7 @@ Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
 
 Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
     SiteOptions options, std::unique_ptr<db::Database> database) {
+  if (Status s = options.Validate(); !s.ok()) return s;
   if (database == nullptr) {
     return InvalidArgumentError("CreateAround: null database");
   }
@@ -42,7 +59,9 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
   cache::ObjectCache::Options cache_options;
   cache_options.shards = site->options_.cache_shards;
   cache_options.capacity_bytes = site->options_.cache_capacity_bytes;
+  cache_options.retain_stale = site->options_.retain_stale;
   cache_options.clock = site->clock_;
+  cache_options.faults = site->options_.faults;
   cache_options.metrics = site_metrics;
   site->cache_ = std::make_unique<cache::ObjectCache>(cache_options);
 
@@ -64,15 +83,21 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
 
   db::Database* db_ptr = site->db_.get();
   site->options_.trigger.metrics = site_metrics;
+  site->options_.trigger.clock = site->clock_;
+  site->options_.trigger.faults = site->options_.faults;
   site->trigger_ = std::make_unique<trigger::TriggerMonitor>(
       db_ptr, site->graph_.get(), site->cache_.get(), site->renderer_.get(),
       [db_ptr](const db::ChangeRecord& change) {
         return pagegen::OlympicSite::MapChangeToDataNodes(change, *db_ptr);
       },
-      site->options_.trigger, site->clock_);
+      site->options_.trigger);
 
   server::DynamicPageServer::Options serve_options;
   serve_options.costs = site->options_.costs;
+  serve_options.retry = site->options_.retry;
+  serve_options.default_deadline = site->options_.default_deadline;
+  serve_options.serve_stale_on_error = site->options_.serve_stale_on_error;
+  serve_options.clock = site->clock_;
   serve_options.metrics = site_metrics;
   site->page_server_ = std::make_unique<server::DynamicPageServer>(
       site->cache_.get(), site->renderer_.get(), serve_options);

@@ -17,7 +17,9 @@
 #include "cache/fleet.h"
 #include "cache/object_cache.h"
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "odg/graph.h"
@@ -28,7 +30,7 @@
 
 namespace nagano::core {
 
-struct SiteOptions {
+struct SiteOptions : OptionsBase {
   pagegen::OlympicConfig olympic;
   trigger::TriggerOptions trigger;
   server::CostModel costs;
@@ -39,11 +41,24 @@ struct SiteOptions {
   // maintains only the composition cache.
   size_t serving_nodes = 0;
   const Clock* clock = nullptr;     // defaults to RealClock
+  // Fault injector threaded into every subsystem this site builds (db
+  // commit/changes, cache lookup, trigger notify). Null = injection off.
+  fault::FaultInjector* faults = nullptr;
+  // Keep invalidated cache entries reachable for degraded serving
+  // (ObjectCache retain_stale); pairs with serve_stale_on_error below.
+  bool retain_stale = false;
+  // Serving-path resilience: bounded retry on transient generation
+  // failures, per-request deadline budget, last-known-good fallback.
+  server::RetryOptions retry;
+  TimeNs default_deadline = 0;      // 0 = unbounded
+  bool serve_stale_on_error = true;
   // Registry + "site" label shared by every subsystem this site builds
   // (cache, trigger, renderer, serving path, ODG, database, access log).
   // An empty instance label keeps auto-assignment per subsystem, so test
   // fixtures never alias; fleet nodes get "<instance>/nodeN".
   metrics::Options metrics;
+
+  Status Validate() const;
 };
 
 class ServingSite {

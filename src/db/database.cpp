@@ -29,9 +29,12 @@ bool TypeMatches(const Value& v, ColumnType type) {
   return false;
 }
 
-Database::Database(const Clock* clock, const metrics::Options& metrics_options)
-    : clock_(clock ? clock : &RealClock::Instance()) {
-  const auto scope = metrics::Scope::Resolve(metrics_options, "db");
+Database::Database(DatabaseOptions options)
+    : clock_(options.clock ? options.clock : &RealClock::Instance()),
+      faults_(options.faults) {
+  ValidateOrDie(options, "DatabaseOptions");
+  const auto scope = metrics::Scope::Resolve(options.metrics, "db");
+  instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   commits_ = scope.GetCounter("nagano_db_commits_total",
                               "mutations appended to the change log");
 }
@@ -130,6 +133,10 @@ void Database::IndexRowLocked(TableData& t, const std::string& pk,
 }
 
 Status Database::Upsert(std::string_view table, Row row) {
+  // Decide the commit fate before taking the lock; an injected error fails
+  // the mutation cleanly, an injected delay stalls the commit timestamp.
+  const auto fate = fault::Decide(faults_, "db", instance_, "commit");
+  if (!fate.status.ok()) return fate.status;
   std::unique_lock lock(mutex_);
   auto it = tables_.find(std::string(table));
   if (it == tables_.end()) {
@@ -142,7 +149,7 @@ Status Database::Upsert(std::string_view table, Row row) {
   change.table = std::string(table);
   change.key = KeyString(row[t.key_column]);
   change.row = row;
-  change.committed_at = clock_->Now();
+  change.committed_at = clock_->Now() + fate.delay;
   change.seqno = next_seqno_++;
 
   if (auto old = t.rows.find(change.key); old != t.rows.end()) {
@@ -156,6 +163,8 @@ Status Database::Upsert(std::string_view table, Row row) {
 }
 
 Status Database::Delete(std::string_view table, const Value& key) {
+  const auto fate = fault::Decide(faults_, "db", instance_, "commit");
+  if (!fate.status.ok()) return fate.status;
   std::unique_lock lock(mutex_);
   auto it = tables_.find(std::string(table));
   if (it == tables_.end()) {
@@ -173,7 +182,7 @@ Status Database::Delete(std::string_view table, const Value& key) {
   change.table = std::string(table);
   change.key = k;
   change.op = ChangeOp::kDelete;
-  change.committed_at = clock_->Now();
+  change.committed_at = clock_->Now() + fate.delay;
   change.seqno = next_seqno_++;
   CommitLocked(std::move(change), lock);
   return Status::Ok();
@@ -344,6 +353,14 @@ std::vector<ChangeRecord> Database::ChangesSince(uint64_t after,
       [](const ChangeRecord& r, uint64_t s) { return r.seqno < s; });
   for (; it != log_.end() && out.size() < limit; ++it) out.push_back(*it);
   return out;
+}
+
+Result<std::vector<ChangeRecord>> Database::ReadChanges(uint64_t after,
+                                                        size_t limit) const {
+  if (Status s = fault::Check(faults_, "db", instance_, "changes"); !s.ok()) {
+    return s;
+  }
+  return ChangesSince(after, limit);
 }
 
 uint64_t Database::Subscribe(Listener listener) {

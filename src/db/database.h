@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 
 namespace nagano::db {
@@ -65,10 +67,25 @@ struct ChangeRecord {
   TimeNs committed_at = 0;
 };
 
+struct DatabaseOptions : OptionsBase {
+  const Clock* clock = nullptr;  // defaults to RealClock
+  // Consulted on mutations ({"db", <instance>, "commit"}: commit errors and
+  // commit stalls charged to committed_at) and on ReadChanges
+  // ({"db", <instance>, "changes"}). Null = injection off.
+  fault::FaultInjector* faults = nullptr;
+  metrics::Options metrics;
+
+  Status Validate() const { return Status::Ok(); }
+};
+
 class Database {
  public:
+  explicit Database(DatabaseOptions options);
+  // Legacy convenience signature; equivalent to DatabaseOptions{clock,
+  // metrics}.
   explicit Database(const Clock* clock = nullptr,
-                    const metrics::Options& metrics_options = {});
+                    const metrics::Options& metrics_options = {})
+      : Database(DatabaseOptions{{}, clock, nullptr, metrics_options}) {}
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -115,6 +132,11 @@ class Database {
   // Records with seqno > after, up to limit, in order.
   std::vector<ChangeRecord> ChangesSince(uint64_t after,
                                          size_t limit = SIZE_MAX) const;
+  // Fallible change-log read: ChangesSince through the fault plan's
+  // {"db", <instance>, "changes"} point, so consumers (the replication
+  // shipper) see kUnavailable when the log read itself fails.
+  Result<std::vector<ChangeRecord>> ReadChanges(uint64_t after,
+                                                size_t limit = SIZE_MAX) const;
 
   using Listener = std::function<void(const ChangeRecord&)>;
   // Listener fires synchronously on commit, outside the database lock.
@@ -139,6 +161,8 @@ class Database {
                              const Row& row);
 
   const Clock* clock_;
+  fault::FaultInjector* faults_;
+  std::string instance_;  // fault-injection site name (== metrics label)
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, TableData> tables_;
   std::vector<ChangeRecord> log_;

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <cstring>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -23,6 +24,7 @@ struct HttpServer::Connection {
   std::string out;        // bytes pending write
   size_t out_offset = 0;  // already written
   uint64_t served = 0;    // requests answered on this connection
+  TimeNs last_activity = 0;  // wall clock; drives the idle sweep
   bool close_after_flush = false;
   bool want_write = false;
 };
@@ -40,10 +42,27 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
+Status HttpServer::Options::Validate() const {
+  if (backlog < 1) {
+    return InvalidArgumentError("HttpServer::Options.backlog must be >= 1");
+  }
+  if (idle_timeout < 0) {
+    return InvalidArgumentError(
+        "HttpServer::Options.idle_timeout must be >= 0");
+  }
+  if (bind_address.empty()) {
+    return InvalidArgumentError(
+        "HttpServer::Options.bind_address must be set");
+  }
+  return Status::Ok();
+}
+
 HttpServer::HttpServer(Handler handler, Options options)
     : handler_(std::move(handler)), options_(std::move(options)) {
+  ValidateOrDie(options_, "HttpServer::Options");
   impl_ = new Impl;
   const auto scope = metrics::Scope::Resolve(options_.metrics, "http");
+  instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   connections_ = scope.GetCounter("nagano_http_connections_accepted_total",
                                   "TCP connections accepted");
   connections_closed_ = scope.GetCounter(
@@ -59,6 +78,9 @@ HttpServer::HttpServer(Handler handler, Options options)
   keepalive_reuses_ =
       scope.GetCounter("nagano_http_keepalive_reuses_total",
                        "requests beyond the first on a persistent connection");
+  idle_closed_ = scope.GetCounter(
+      "nagano_http_idle_closed_total",
+      "connections reaped by the idle sweep (slow-loris defense)");
 }
 
 HttpServer::~HttpServer() {
@@ -172,6 +194,23 @@ void HttpServer::Loop() {
         HandleWritable(it->second);
       }
     }
+    if (options_.idle_timeout > 0) {
+      SweepIdle(RealClock::Instance().Now());
+    }
+  }
+}
+
+void HttpServer::SweepIdle(TimeNs now) {
+  // Collect first: CloseConnection mutates the table.
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : impl_->connections) {
+    if (now - conn.last_activity >= options_.idle_timeout) {
+      victims.push_back(fd);
+    }
+  }
+  for (int fd : victims) {
+    idle_closed_->Increment();
+    CloseConnection(fd);
   }
 }
 
@@ -185,11 +224,18 @@ void HttpServer::AcceptNew() {
       LOG_WARN("accept: %s", std::strerror(errno));
       return;
     }
+    if (!fault::Check(options_.faults, "http", instance_, "accept").ok()) {
+      // A dying front end: the TCP handshake completed but the server
+      // process never services the connection.
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_->Increment();
     Connection& conn = impl_->connections[fd];
     conn.fd = fd;
+    conn.last_activity = RealClock::Instance().Now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -198,6 +244,11 @@ void HttpServer::AcceptNew() {
 }
 
 void HttpServer::HandleReadable(Connection& conn) {
+  if (!fault::Check(options_.faults, "http", instance_, "read").ok()) {
+    CloseConnection(conn.fd);
+    return;
+  }
+  conn.last_activity = RealClock::Instance().Now();
   char buf[16 * 1024];
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
@@ -240,6 +291,12 @@ void HttpServer::HandleReadable(Connection& conn) {
 }
 
 void HttpServer::HandleWritable(Connection& conn) {
+  if (!conn.out.empty() &&
+      !fault::Check(options_.faults, "http", instance_, "write").ok()) {
+    CloseConnection(conn.fd);
+    return;
+  }
+  conn.last_activity = RealClock::Instance().Now();
   while (conn.out_offset < conn.out.size()) {
     const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
                               conn.out.size() - conn.out_offset);
@@ -293,6 +350,7 @@ ServerStats HttpServer::stats() const {
   s.bytes_in = bytes_in_->value();
   s.bytes_out = bytes_out_->value();
   s.keepalive_reuses = keepalive_reuses_->value();
+  s.idle_closed = idle_closed_->value();
   return s;
 }
 

@@ -12,7 +12,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "http/message.h"
@@ -29,18 +32,31 @@ struct ServerStats {
   // Requests beyond the first on a persistent connection — the HTTP/1.1
   // keep-alive win the paper's front ends relied on at Olympic load.
   uint64_t keepalive_reuses = 0;
+  // Connections reaped by the idle sweep (slow-loris defense).
+  uint64_t idle_closed = 0;
 };
 
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  struct Options {
+  struct Options : OptionsBase {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
     int backlog = 128;
+    // Close connections with no traffic for this long (wall clock; the
+    // epoll loop wakes every 100 ms to sweep). 0 disables the sweep. This
+    // is the slow-loris defense: a client that trickles bytes or never
+    // completes a request cannot hold a connection slot forever.
+    TimeNs idle_timeout = 0;
+    // Consulted on the socket paths ({"http", <instance>, "accept"|"read"|
+    // "write"}): a firing rule closes the connection at that point, the
+    // way a dying front end would. Null = injection off.
+    fault::FaultInjector* faults = nullptr;
     // Registry + instance label for the nagano_http_* metrics.
     metrics::Options metrics;
+
+    Status Validate() const;
   };
 
   explicit HttpServer(Handler handler) : HttpServer(std::move(handler), Options()) {}
@@ -67,9 +83,11 @@ class HttpServer {
   void HandleReadable(Connection& conn);
   void HandleWritable(Connection& conn);
   void CloseConnection(int fd);
+  void SweepIdle(TimeNs now);
 
   Handler handler_;
   Options options_;
+  std::string instance_;  // fault-injection site name (== metrics label)
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -86,6 +104,7 @@ class HttpServer {
   metrics::Counter* bytes_in_;
   metrics::Counter* bytes_out_;
   metrics::Counter* keepalive_reuses_;
+  metrics::Counter* idle_closed_;
   struct Impl;
   Impl* impl_ = nullptr;
 };

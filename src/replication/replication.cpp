@@ -4,8 +4,18 @@
 
 namespace nagano::replication {
 
-ReplicationTopology::ReplicationTopology(const Clock* clock)
-    : clock_(clock ? clock : &RealClock::Instance()) {}
+ReplicationTopology::ReplicationTopology(ReplicationOptions options)
+    : clock_(options.clock ? options.clock : &RealClock::Instance()),
+      faults_(options.faults) {
+  ValidateOrDie(options, "ReplicationOptions");
+  const auto scope = metrics::Scope::Resolve(options.metrics, "replication");
+  failovers_ = scope.GetCounter("nagano_replication_failovers_total",
+                                "automatic re-parents to the backup feed");
+  gaps_ = scope.GetCounter("nagano_replication_gaps_total",
+                           "dense-seqno violations observed at apply");
+  stalls_ = scope.GetCounter("nagano_replication_stalls_total",
+                             "pump rounds lost to an unreachable feed");
+}
 
 Status ReplicationTopology::AddNode(std::string name, db::Database* database) {
   if (database == nullptr) {
@@ -79,24 +89,56 @@ size_t ReplicationTopology::PumpNode(Node& node) {
 
   Node* feed = FindNode(node.feed);
   assert(feed != nullptr);
-  if (!feed->up) {
+  // An injected pull error models the feed *link* being down, which is
+  // indistinguishable from the feed itself being down from where the child
+  // sits — both take the same recovery path. Operation "pull" covers every
+  // pull the node makes; "pull-from:<feed>" targets one specific link, so a
+  // plan can cut the primary path while the backup stays usable (the paper's
+  // Tokyo-feeds-Schaumburg scenario).
+  auto pull = fault::Decide(faults_, "replication", node.name, "pull");
+  const auto link = fault::Decide(faults_, "replication", node.name,
+                                  "pull-from:" + node.feed);
+  if (pull.status.ok() && !link.status.ok()) pull.status = link.status;
+  pull.delay += link.delay;
+  if (!feed->up || !pull.status.ok()) {
     // The Tokyo-can-feed-Schaumburg recovery path: re-parent to the backup
     // feed if one is configured and alive.
     Node* backup = node.failover_feed.empty() ? nullptr
                                               : FindNode(node.failover_feed);
-    if (backup == nullptr || !backup->up || backup == &node) return 0;
+    if (backup == nullptr || !backup->up || backup == &node ||
+        node.feed == node.failover_feed) {
+      stalls_->Increment();
+      return 0;
+    }
     node.feed = node.failover_feed;
     feed = backup;
+    failovers_->Increment();
   }
 
   const uint64_t local = node.database->LastSeqno();
   const TimeNs now = clock_->Now();
+  const TimeNs lag = node.lag + pull.delay;  // injected delay = lag spike
+  auto changes = feed->database->ReadChanges(local, 256);
+  if (!changes.ok()) {
+    // The feed's change log itself is unreadable this round; retry later.
+    stalls_->Increment();
+    return 0;
+  }
   size_t applied = 0;
-  for (const db::ChangeRecord& record :
-       feed->database->ChangesSince(local, 256)) {
-    if (record.committed_at + node.lag > now) break;  // not yet arrived
+  for (const db::ChangeRecord& record : changes.value()) {
+    if (record.committed_at + lag > now) break;  // not yet arrived
+    if (!fault::Check(faults_, "replication", node.name, "gap").ok()) {
+      // Drop this record on the floor: the next apply observes the gap as
+      // kDataLoss, and the following pump re-reads from the child's true
+      // applied seqno — exercising the §3 resynchronisation path.
+      continue;
+    }
     Status s = node.database->ApplyReplicated(record);
-    if (!s.ok()) break;  // gap (feed itself behind); retry next pump
+    if (!s.ok()) {
+      // Gap (injected, or the feed itself is behind); retry next pump.
+      if (s.code() == ErrorCode::kDataLoss) gaps_->Increment();
+      break;
+    }
     apply_lag_.Add(ToMillis(now - record.committed_at));
     ++node.records_applied;
     ++applied;

@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "db/database.h"
@@ -36,9 +39,29 @@ struct ReplicaStatus {
   uint64_t records_applied = 0;
 };
 
+struct ReplicationOptions : OptionsBase {
+  const Clock* clock = nullptr;  // defaults to RealClock
+  // Consulted per child node during Pump() — site is the child's name:
+  //   {"replication", <child>, "pull"}  kError = the feed link is down
+  //     (auto-failover to the backup feed if configured, else stall);
+  //     kDelay = a lag spike added to the link for this round.
+  //   {"replication", <child>, "pull-from:<feed>"}  same, but scoped to the
+  //     link from one named feed — the failed-over path stays usable.
+  //   {"replication", <child>, "gap"}   drop one due record on the floor so
+  //     the next apply observes a dense-seqno violation (kDataLoss) and the
+  //     recovery path re-reads from the child's true applied seqno.
+  fault::FaultInjector* faults = nullptr;
+  metrics::Options metrics;
+
+  Status Validate() const { return Status::Ok(); }
+};
+
 class ReplicationTopology {
  public:
-  explicit ReplicationTopology(const Clock* clock);
+  explicit ReplicationTopology(ReplicationOptions options);
+  // Legacy convenience signature; equivalent to options carrying `clock`.
+  explicit ReplicationTopology(const Clock* clock)
+      : ReplicationTopology(WithClock(clock)) {}
 
   // Registers a node. The database must already contain the schema (every
   // replica starts from the same empty schema; the log replays content).
@@ -72,6 +95,11 @@ class ReplicationTopology {
   // Replication lag observed at apply time (commit -> apply, simulated).
   const Histogram& apply_lag() const { return apply_lag_; }
 
+  // Fault-path observability (also exported as nagano_replication_*_total).
+  uint64_t failovers() const { return failovers_->value(); }  // auto re-parents
+  uint64_t gaps() const { return gaps_->value(); }      // kDataLoss observed
+  uint64_t stalls() const { return stalls_->value(); }  // rounds lost to pulls
+
  private:
   struct Node {
     std::string name;
@@ -83,13 +111,23 @@ class ReplicationTopology {
     uint64_t records_applied = 0;
   };
 
+  static ReplicationOptions WithClock(const Clock* clock) {
+    ReplicationOptions options;
+    options.clock = clock;
+    return options;
+  }
+
   Node* FindNode(std::string_view name);
   const Node* FindNode(std::string_view name) const;
   size_t PumpNode(Node& node);
 
   const Clock* clock_;
+  fault::FaultInjector* faults_;
   std::map<std::string, Node, std::less<>> nodes_;
   Histogram apply_lag_;
+  metrics::Counter* failovers_;
+  metrics::Counter* gaps_;
+  metrics::Counter* stalls_;
 };
 
 }  // namespace nagano::replication

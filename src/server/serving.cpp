@@ -1,15 +1,49 @@
 #include "server/serving.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <thread>
 
 #include "server/access_log.h"
 
 namespace nagano::server {
 
+Status RetryOptions::Validate() const {
+  if (max_attempts == 0) {
+    return InvalidArgumentError("RetryOptions.max_attempts must be >= 1");
+  }
+  if (initial_backoff < 0 || max_backoff < 0) {
+    return InvalidArgumentError("RetryOptions backoffs must be >= 0");
+  }
+  if (multiplier < 1.0) {
+    return InvalidArgumentError("RetryOptions.multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    return InvalidArgumentError("RetryOptions.jitter must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+Status DynamicPageServer::Options::Validate() const {
+  if (Status s = retry.Validate(); !s.ok()) return s;
+  if (default_deadline < 0) {
+    return InvalidArgumentError(
+        "DynamicPageServer::Options.default_deadline must be >= 0");
+  }
+  return Status::Ok();
+}
+
 DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
                                      pagegen::PageRenderer* renderer,
                                      Options options)
-    : cache_(cache), renderer_(renderer), options_(std::move(options)) {
+    : cache_(cache),
+      renderer_(renderer),
+      options_((ValidateOrDie(options, "DynamicPageServer::Options"),
+                std::move(options))),
+      clock_(options_.clock ? options_.clock : &RealClock::Instance()),
+      backoff_rng_(options_.backoff_seed) {
   assert(cache_ && renderer_);
   const auto scope = metrics::Scope::Resolve(options_.metrics, "serve");
   static_hits_ = scope.GetCounter("nagano_serve_static_hits_total",
@@ -22,6 +56,14 @@ DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
       scope.GetCounter("nagano_serve_not_found_total", "requests with no page");
   errors_ =
       scope.GetCounter("nagano_serve_errors_total", "requests that failed");
+  stale_serves_ = scope.GetCounter(
+      "nagano_serve_stale_total",
+      "degraded responses served from the last-known-good cached copy");
+  retries_ = scope.GetCounter("nagano_serve_retries_total",
+                              "transient generation failures retried");
+  deadline_exceeded_ =
+      scope.GetCounter("nagano_serve_deadline_exceeded_total",
+                       "retry budgets cut short by the request deadline");
 }
 
 void DynamicPageServer::AddStaticPage(std::string path, std::string body) {
@@ -41,9 +83,12 @@ void DynamicPageServer::SetAccessLog(AccessLog* log, const Clock* clock) {
   log_clock_ = clock ? clock : &RealClock::Instance();
 }
 
-ServeOutcome DynamicPageServer::Serve(std::string_view path,
-                                      bool include_body) {
-  ServeOutcome out = ServeInternal(path, include_body);
+ServeOutcome DynamicPageServer::Serve(std::string_view path, bool include_body,
+                                      TimeNs deadline) {
+  if (deadline == 0 && options_.default_deadline > 0) {
+    deadline = clock_->Now() + options_.default_deadline;
+  }
+  ServeOutcome out = ServeInternal(path, include_body, deadline);
   if (access_log_ != nullptr) {
     access_log_->Append(log_clock_->Now(), path, out.cls, out.bytes,
                         out.cpu_cost);
@@ -51,8 +96,70 @@ ServeOutcome DynamicPageServer::Serve(std::string_view path,
   return out;
 }
 
+Result<std::string> DynamicPageServer::GenerateWithRetry(std::string_view path,
+                                                         TimeNs deadline,
+                                                         uint32_t* retries) {
+  const RetryOptions& retry = options_.retry;
+  TimeNs backoff = retry.initial_backoff;
+  Status last = InternalError("no attempt made");
+  for (uint32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    auto body = ShouldCache(path) ? renderer_->RenderAndCache(path)
+                                  : renderer_->RenderOnly(path);
+    if (body.ok()) return body;
+    last = body.status();
+    // kNotFound is a stable answer and anything non-transient is a bug or
+    // a hard failure: retrying either just burns the deadline.
+    if (!IsTransient(last)) return last;
+    if (attempt + 1 >= retry.max_attempts) break;
+
+    TimeNs pause = backoff;
+    if (retry.jitter > 0.0 && pause > 0) {
+      std::lock_guard<std::mutex> lock(backoff_mutex_);
+      const double scale =
+          1.0 - retry.jitter + 2.0 * retry.jitter * backoff_rng_.NextDouble();
+      pause = static_cast<TimeNs>(static_cast<double>(pause) * scale);
+    }
+    if (deadline != 0 && clock_->Now() + pause >= deadline) {
+      deadline_exceeded_->Increment();
+      break;
+    }
+    if (options_.sleep_on_backoff && pause > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(pause));
+    }
+    backoff = std::min<TimeNs>(
+        retry.max_backoff,
+        static_cast<TimeNs>(static_cast<double>(backoff) * retry.multiplier));
+    ++*retries;
+    retries_->Increment();
+  }
+  return last;
+}
+
+ServeOutcome DynamicPageServer::DegradeToStale(std::string_view path,
+                                               bool include_body,
+                                               Status error) {
+  ServeOutcome out;
+  out.error = error;
+  if (options_.serve_stale_on_error) {
+    if (auto stale = cache_->LookupStale(path)) {
+      stale_serves_->Increment();
+      out.cls = ServeClass::kDegradedStale;
+      out.cpu_cost = options_.costs.cached_dynamic;
+      out.bytes = stale->body.size();
+      out.stale_age = std::max<TimeNs>(0, clock_->Now() - stale->stored_at);
+      if (include_body) out.body = stale->body;
+      return out;
+    }
+  }
+  errors_->Increment();
+  out.cls = ServeClass::kError;
+  out.cpu_cost = options_.costs.not_found;
+  return out;
+}
+
 ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
-                                              bool include_body) {
+                                              bool include_body,
+                                              TimeNs deadline) {
   ServeOutcome out;
 
   // 1. Static file system.
@@ -69,22 +176,24 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
     }
   }
 
-  // 2. Dynamic page cache.
+  // 2. Dynamic page cache. A transient lookup error (the cache path is
+  // down) is NOT a miss: fall through to generation, which may still work.
   if (ShouldCache(path)) {
-    if (auto cached = cache_->Lookup(path)) {
+    auto cached = cache_->TryLookup(path);
+    if (cached.ok()) {
       cache_hits_->Increment();
       out.cls = ServeClass::kCacheHit;
       out.cpu_cost = options_.costs.cached_dynamic;
-      out.bytes = cached->body.size();
-      if (include_body) out.body = cached->body;
+      out.bytes = cached.value()->body.size();
+      if (include_body) out.body = cached.value()->body;
       return out;
     }
   }
 
-  // 3. Generate (and usually cache) the page.
+  // 3. Generate (and usually cache) the page, retrying transient failures
+  // within the deadline.
   if (renderer_->CanGenerate(path)) {
-    auto body = ShouldCache(path) ? renderer_->RenderAndCache(path)
-                                  : renderer_->RenderOnly(path);
+    auto body = GenerateWithRetry(path, deadline, &out.retries);
     if (body.ok()) {
       cache_misses_->Increment();
       out.cls = ServeClass::kCacheMissGenerated;
@@ -94,9 +203,11 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       return out;
     }
     if (body.status().code() != ErrorCode::kNotFound) {
-      errors_->Increment();
-      out.cls = ServeClass::kError;
-      out.cpu_cost = options_.costs.not_found;
+      // 4. Retries exhausted: elegant degradation — last-known-good copy
+      // over a 500.
+      const uint32_t retries = out.retries;
+      out = DegradeToStale(path, include_body, body.status());
+      out.retries = retries;
       return out;
     }
   }
@@ -114,15 +225,28 @@ ServeStats DynamicPageServer::stats() const {
   s.cache_misses = cache_misses_->value();
   s.not_found = not_found_->value();
   s.errors = errors_->value();
+  s.stale_serves = stale_serves_->value();
+  s.retries = retries_->value();
+  s.deadline_exceeded = deadline_exceeded_->value();
   return s;
 }
 
-HttpFrontEnd::HttpFrontEnd(DynamicPageServer* program,
-                           http::HttpServer::Options options)
+Status FrontEndOptions::Validate() const {
+  if (Status s = http.Validate(); !s.ok()) return s;
+  if (request_deadline < 0) {
+    return InvalidArgumentError("FrontEndOptions.request_deadline must be >= 0");
+  }
+  return Status::Ok();
+}
+
+HttpFrontEnd::HttpFrontEnd(DynamicPageServer* program, FrontEndOptions options)
     : program_(program),
+      request_deadline_((ValidateOrDie(options, "FrontEndOptions"),
+                         options.request_deadline)),
+      clock_(options.clock ? options.clock : &RealClock::Instance()),
       server_(std::make_unique<http::HttpServer>(
           [this](const http::HttpRequest& request) { return Handle(request); },
-          std::move(options))) {
+          std::move(options.http))) {
   assert(program_);
 }
 
@@ -182,7 +306,10 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
     if (request.method == "HEAD") r.body.clear();
     return r;
   }
-  ServeOutcome outcome = program_->Serve(request.Path(), /*include_body=*/true);
+  const TimeNs deadline =
+      request_deadline_ > 0 ? clock_->Now() + request_deadline_ : 0;
+  ServeOutcome outcome =
+      program_->Serve(request.Path(), /*include_body=*/true, deadline);
   switch (outcome.cls) {
     case ServeClass::kStatic:
     case ServeClass::kCacheHit:
@@ -194,6 +321,20 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
           outcome.cls == ServeClass::kCacheHit ? "HIT"
           : outcome.cls == ServeClass::kStatic ? "STATIC"
                                                : "MISS";
+      return r;
+    }
+    case ServeClass::kDegradedStale: {
+      // Last-known-good copy: still a 200 (the viewer gets a page, per the
+      // paper's availability-first stance) but labeled so clients and tests
+      // can tell.
+      auto r = http::HttpResponse::Ok(request.method == "HEAD"
+                                          ? std::string()
+                                          : std::move(outcome.body));
+      r.headers["X-Cache"] = "STALE";
+      char age[32];
+      std::snprintf(age, sizeof(age), "%.3f",
+                    static_cast<double>(outcome.stale_age) / 1e9);
+      r.headers["X-Nagano-Stale"] = age;
       return r;
     }
     case ServeClass::kNotFound:

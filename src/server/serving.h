@@ -31,7 +31,9 @@
 #include "cache/object_cache.h"
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "http/message.h"
 #include "http/server.h"
@@ -50,6 +52,11 @@ enum class ServeClass : uint8_t {
   kStatic,
   kCacheHit,
   kCacheMissGenerated,
+  // Generation failed (or the cache path was down) and the last-known-good
+  // cached copy was served instead — §4.2's elegant degradation applied to
+  // content freshness. HTTP layer marks these X-Cache: STALE plus an
+  // X-Nagano-Stale age header.
+  kDegradedStale,
   kNotFound,
   kError,
 };
@@ -59,6 +66,9 @@ struct ServeOutcome {
   TimeNs cpu_cost = 0;    // modeled CPU charge
   size_t bytes = 0;       // response body size
   std::string body;       // filled only when include_body was requested
+  uint32_t retries = 0;   // transparent retry attempts beyond the first
+  TimeNs stale_age = 0;   // kDegradedStale: age of the copy served
+  Status error;           // kError / kDegradedStale: what actually failed
 };
 
 struct ServeStats {
@@ -67,9 +77,13 @@ struct ServeStats {
   uint64_t cache_misses = 0;
   uint64_t not_found = 0;
   uint64_t errors = 0;
+  uint64_t stale_serves = 0;        // degraded last-known-good responses
+  uint64_t retries = 0;             // backoff retries taken
+  uint64_t deadline_exceeded = 0;   // retry budgets cut short by a deadline
 
   uint64_t total() const {
-    return static_hits + cache_hits + cache_misses + not_found + errors;
+    return static_hits + cache_hits + cache_misses + not_found + errors +
+           stale_serves;
   }
   double CacheHitRate() const {
     const uint64_t dynamic = cache_hits + cache_misses;
@@ -79,15 +93,50 @@ struct ServeStats {
   }
 };
 
+// Bounded retry with exponential backoff + jitter, applied to transient
+// (IsTransient) generation failures. Backoff sleeps are real only when
+// sleep_on_backoff is set; under SimClock the schedule is still consulted
+// for deadline math but nothing blocks.
+struct RetryOptions : OptionsBase {
+  uint32_t max_attempts = 3;            // total tries, including the first
+  TimeNs initial_backoff = FromMillis(10);
+  double multiplier = 2.0;
+  TimeNs max_backoff = FromMillis(200);
+  double jitter = 0.2;                  // backoff scaled by U[1-j, 1+j]
+
+  Status Validate() const;
+};
+
 class DynamicPageServer {
  public:
-  struct Options {
+  struct Options : OptionsBase {
     CostModel costs;
     // Pages the program declines to cache (per-request personalization in a
     // real deployment). Prefix match; empty = cache everything.
     std::vector<std::string> never_cache_prefixes;
+
+    // Retry policy for transient generation failures.
+    RetryOptions retry;
+    // Deadline budget applied when Serve() is called without an explicit
+    // deadline. 0 = unbounded.
+    TimeNs default_deadline = 0;
+    // When generation fails outright (retries exhausted or deadline hit),
+    // serve the cache's last-known-good copy as kDegradedStale instead of
+    // kError. Needs the cache constructed with retain_stale to also cover
+    // invalidated entries.
+    bool serve_stale_on_error = true;
+    // Actually sleep the backoff schedule (live deployments). Off by
+    // default so simulations and tests never block.
+    bool sleep_on_backoff = false;
+    // Deadline + staleness clock. nullptr = RealClock.
+    const Clock* clock = nullptr;
+    // Seed for the backoff jitter stream (deterministic per server).
+    uint64_t backoff_seed = 0x7365727665ULL;  // "serve"
+
     // Registry + instance label for the nagano_serve_* metrics.
     metrics::Options metrics;
+
+    Status Validate() const;
   };
 
   DynamicPageServer(cache::ObjectCache* cache, pagegen::PageRenderer* renderer)
@@ -103,24 +152,39 @@ class DynamicPageServer {
   void SetAccessLog(class AccessLog* log, const Clock* clock = nullptr);
 
   // Serves one page. `include_body` false lets the simulator skip the body
-  // copy on its hot path.
-  ServeOutcome Serve(std::string_view path, bool include_body = true);
+  // copy on its hot path. `deadline` is an absolute time on the server's
+  // clock bounding retries (0 = apply default_deadline, if any); it is the
+  // propagation target for HttpFrontEnd's per-request budget.
+  ServeOutcome Serve(std::string_view path, bool include_body = true,
+                     TimeNs deadline = 0);
 
   ServeStats stats() const;
   const CostModel& costs() const { return options_.costs; }
 
  private:
-  ServeOutcome ServeInternal(std::string_view path, bool include_body);
+  ServeOutcome ServeInternal(std::string_view path, bool include_body,
+                             TimeNs deadline);
   bool ShouldCache(std::string_view path) const;
+  // Generation with bounded retry; fills retries on the outcome.
+  Result<std::string> GenerateWithRetry(std::string_view path, TimeNs deadline,
+                                        uint32_t* retries);
+  // The degraded fallback: last-known-good copy, or kError when there is
+  // none (or the policy is off).
+  ServeOutcome DegradeToStale(std::string_view path, bool include_body,
+                              Status error);
 
   cache::ObjectCache* cache_;
   pagegen::PageRenderer* renderer_;
   Options options_;
+  const Clock* clock_;
   class AccessLog* access_log_ = nullptr;
   const Clock* log_clock_ = nullptr;
 
   std::mutex static_mutex_;
   std::map<std::string, std::string, std::less<>> static_pages_;
+
+  std::mutex backoff_mutex_;
+  Rng backoff_rng_;
 
   // Registry cells behind the legacy stats() view.
   metrics::Counter* static_hits_;
@@ -128,6 +192,9 @@ class DynamicPageServer {
   metrics::Counter* cache_misses_;
   metrics::Counter* not_found_;
   metrics::Counter* errors_;
+  metrics::Counter* stale_serves_;
+  metrics::Counter* retries_;
+  metrics::Counter* deadline_exceeded_;
 };
 
 // One site-health verdict for /healthz: overall up/down plus the reasons a
@@ -139,6 +206,17 @@ struct HealthReport {
 
 using HealthCheck = std::function<HealthReport()>;
 
+struct FrontEndOptions : OptionsBase {
+  http::HttpServer::Options http;
+  // Per-request serving budget, propagated as an absolute deadline into
+  // DynamicPageServer::Serve (bounding its retry schedule). 0 = unbounded.
+  TimeNs request_deadline = 0;
+  // Clock the deadline is computed against. nullptr = RealClock.
+  const Clock* clock = nullptr;
+
+  Status Validate() const;
+};
+
 // Adapts a DynamicPageServer to the epoll HTTP server, and optionally
 // exposes the live admin surface:
 //   /metrics  Prometheus text exposition (format 0.0.4)
@@ -146,7 +224,8 @@ using HealthCheck = std::function<HealthReport()>;
 //   /statusz  human-readable per-subsystem snapshot
 class HttpFrontEnd {
  public:
-  HttpFrontEnd(DynamicPageServer* program, http::HttpServer::Options options);
+  explicit HttpFrontEnd(DynamicPageServer* program,
+                        FrontEndOptions options = {});
 
   // Turns on /metrics, /healthz and /statusz, served from `registry`
   // (nullptr = the process-wide Default()). `health` backs /healthz; with no
@@ -165,6 +244,8 @@ class HttpFrontEnd {
   http::HttpResponse HandleAdmin(std::string_view path);
 
   DynamicPageServer* program_;
+  TimeNs request_deadline_;
+  const Clock* clock_;
   metrics::MetricRegistry* admin_registry_ = nullptr;  // null = admin off
   HealthCheck health_;
   std::unique_ptr<http::HttpServer> server_;

@@ -35,25 +35,40 @@ std::map<std::string, std::vector<std::string>> OlympicConservativePrefixes() {
   };
 }
 
+Status TriggerOptions::Validate() const {
+  if (worker_threads == 0) {
+    return InvalidArgumentError("TriggerOptions.worker_threads must be >= 1");
+  }
+  if (batch_max == 0) {
+    return InvalidArgumentError("TriggerOptions.batch_max must be >= 1");
+  }
+  if (obsolescence_threshold < 0.0) {
+    return InvalidArgumentError(
+        "TriggerOptions.obsolescence_threshold must be >= 0");
+  }
+  return Status::Ok();
+}
+
 TriggerMonitor::TriggerMonitor(db::Database* db,
                                odg::ObjectDependenceGraph* graph,
                                cache::ObjectCache* cache,
                                pagegen::PageRenderer* renderer,
-                               ChangeMapper mapper, TriggerOptions options,
-                               const Clock* clock)
+                               ChangeMapper mapper, TriggerOptions options)
     : db_(db),
       graph_(graph),
       cache_(cache),
       renderer_(renderer),
       mapper_(std::move(mapper)),
-      options_(std::move(options)),
-      clock_(clock ? clock : &RealClock::Instance()) {
+      options_((ValidateOrDie(options, "TriggerOptions"), std::move(options))),
+      clock_(options_.clock ? options_.clock : &RealClock::Instance()),
+      faults_(options_.faults) {
   assert(db_ && graph_ && cache_ && renderer_ && mapper_);
   if (options_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
 
   const auto scope = metrics::Scope::Resolve(options_.metrics, "trigger");
+  instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   changes_processed_ = scope.GetCounter("nagano_trigger_changes_processed_total",
                                         "database changes applied");
   batches_ =
@@ -77,6 +92,15 @@ TriggerMonitor::TriggerMonitor(db::Database* db,
                                   "render jobs dispatched to the pool");
   renders_attempted_ = scope.GetCounter(
       "nagano_trigger_renders_attempted_total", "regenerations tried");
+  notifications_dropped_ =
+      scope.GetCounter("nagano_trigger_notifications_dropped_total",
+                       "commit notifications lost to injected faults");
+  notifications_recovered_ =
+      scope.GetCounter("nagano_trigger_notifications_recovered_total",
+                       "dropped changes healed from the change log");
+  duplicates_injected_ =
+      scope.GetCounter("nagano_trigger_duplicates_injected_total",
+                       "injected duplicate notification deliveries");
   update_latency_ms_ =
       scope.GetHistogram("nagano_trigger_update_latency_ms",
                          "commit to cache-consistent latency per batch (ms)");
@@ -97,23 +121,79 @@ TriggerMonitor::~TriggerMonitor() { Stop(); }
 
 void TriggerMonitor::Start() {
   if (running_.exchange(true)) return;
-  subscription_ = db_->Subscribe([this](const db::ChangeRecord& change) {
+  // Changes already in the log predate this monitor (e.g. the site build);
+  // gap-healing must only recover what was committed while running, or the
+  // first notification would replay the whole build log.
+  {
+    std::lock_guard<std::mutex> lock(seq_mutex_);
+    last_enqueued_seqno_ = db_->LastSeqno();
+  }
+  subscription_ = db_->Subscribe(
+      [this](const db::ChangeRecord& change) { OnChange(change); });
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void TriggerMonitor::EnqueueChange(const db::ChangeRecord& change) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++enqueued_;
+  }
+  if (!queue_.Push(change)) {
+    // Raced with Stop(): the queue is closed and this change will never
+    // be processed. Roll the counter back, or a concurrent Quiesce()
+    // would wait forever on a change nobody is going to process.
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++enqueued_;
+      --enqueued_;
     }
-    if (!queue_.Push(change)) {
-      // Raced with Stop(): the queue is closed and this change will never
-      // be processed. Roll the counter back, or a concurrent Quiesce()
-      // would wait forever on a change nobody is going to process.
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        --enqueued_;
+    quiesce_cv_.notify_all();
+  }
+}
+
+void TriggerMonitor::OnChange(const db::ChangeRecord& change) {
+  const auto fate = fault::Decide(faults_, "trigger", instance_, "notify");
+  if (!fate.status.ok()) {
+    // Lost notification. The commit is durable in the change log, so the
+    // next notification (or an explicit CatchUp) heals the gap.
+    notifications_dropped_->Increment();
+    return;
+  }
+  std::vector<db::ChangeRecord> to_enqueue;
+  {
+    std::lock_guard<std::mutex> lock(seq_mutex_);
+    if (change.seqno > last_enqueued_seqno_ + 1) {
+      // Earlier notifications were dropped; recover them from the log in
+      // order, ahead of this change.
+      for (auto& missed : db_->ChangesSince(
+               last_enqueued_seqno_, change.seqno - last_enqueued_seqno_ - 1)) {
+        if (missed.seqno >= change.seqno) break;
+        to_enqueue.push_back(std::move(missed));
       }
-      quiesce_cv_.notify_all();
+      notifications_recovered_->Increment(to_enqueue.size());
     }
-  });
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+    if (change.seqno > last_enqueued_seqno_) {
+      last_enqueued_seqno_ = change.seqno;
+    }
+  }
+  to_enqueue.push_back(change);
+  for (uint32_t i = 0; i < fate.duplicates; ++i) to_enqueue.push_back(change);
+  if (fate.duplicates > 0) duplicates_injected_->Increment(fate.duplicates);
+  for (const auto& record : to_enqueue) EnqueueChange(record);
+}
+
+size_t TriggerMonitor::CatchUp() {
+  if (!running_.load(std::memory_order_relaxed)) return 0;
+  std::vector<db::ChangeRecord> to_enqueue;
+  {
+    std::lock_guard<std::mutex> lock(seq_mutex_);
+    to_enqueue = db_->ChangesSince(last_enqueued_seqno_);
+    if (!to_enqueue.empty()) {
+      last_enqueued_seqno_ = to_enqueue.back().seqno;
+      notifications_recovered_->Increment(to_enqueue.size());
+    }
+  }
+  for (const auto& record : to_enqueue) EnqueueChange(record);
+  return to_enqueue.size();
 }
 
 void TriggerMonitor::Stop() {
@@ -341,6 +421,9 @@ TriggerStats TriggerMonitor::stats() const {
   s.changes_coalesced = changes_coalesced_->value();
   s.render_jobs = render_jobs_->value();
   s.renders_attempted = renders_attempted_->value();
+  s.notifications_dropped = notifications_dropped_->value();
+  s.notifications_recovered = notifications_recovered_->value();
+  s.duplicates_injected = duplicates_injected_->value();
   s.update_latency_ms = update_latency_ms_->snapshot();
   s.fanout = fanout_->snapshot();
   s.batch_apply_ms = batch_apply_ms_->snapshot();

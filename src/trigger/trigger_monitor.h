@@ -34,7 +34,9 @@
 #include "cache/fleet.h"
 #include "cache/object_cache.h"
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/queue.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -54,7 +56,7 @@ enum class CachePolicy {
 
 std::string_view CachePolicyName(CachePolicy policy);
 
-struct TriggerOptions {
+struct TriggerOptions : OptionsBase {
   CachePolicy policy = CachePolicy::kDupUpdateInPlace;
 
   // Render workers for the update-in-place policy. 1 = fully sequential.
@@ -82,8 +84,19 @@ struct TriggerOptions {
   // invalidations propagate fleet-wide. Not owned.
   cache::CacheFleet* fleet = nullptr;
 
+  // Clock for batching latencies and propagation stamps. nullptr =
+  // RealClock.
+  const Clock* clock = nullptr;
+
+  // Consulted per commit notification ({"trigger", <instance>, "notify"}):
+  // kError drops the notification (healed from the change log by the next
+  // one, or by CatchUp()); kDuplicate delivers it again.
+  fault::FaultInjector* faults = nullptr;
+
   // Registry + instance label for the nagano_trigger_* metrics.
   metrics::Options metrics;
+
+  Status Validate() const;
 };
 
 // Default 1996-style mapping for the Olympic site: any scoring change blows
@@ -98,6 +111,10 @@ struct TriggerStats {
   uint64_t objects_invalidated = 0;
   uint64_t objects_skipped = 0;      // affected but uncached (regenerate on demand)
   uint64_t render_failures = 0;
+  // --- fault-path counters ------------------------------------------------
+  uint64_t notifications_dropped = 0;    // injected drops (lost notifications)
+  uint64_t notifications_recovered = 0;  // changes healed from the change log
+  uint64_t duplicates_injected = 0;      // injected re-deliveries
   // --- parallel-pipeline stage counters -----------------------------------
   uint64_t changes_coalesced = 0;    // changes that rode along in a multi-change batch
   uint64_t render_jobs = 0;          // per-worker render jobs dispatched to the pool
@@ -121,8 +138,7 @@ class TriggerMonitor {
 
   TriggerMonitor(db::Database* db, odg::ObjectDependenceGraph* graph,
                  cache::ObjectCache* cache, pagegen::PageRenderer* renderer,
-                 ChangeMapper mapper, TriggerOptions options = {},
-                 const Clock* clock = nullptr);
+                 ChangeMapper mapper, TriggerOptions options = {});
   ~TriggerMonitor();
 
   TriggerMonitor(const TriggerMonitor&) = delete;
@@ -146,9 +162,19 @@ class TriggerMonitor {
   // the paper's ≤60 s freshness guarantee in queue form.
   uint64_t backlog() const;
 
+  // Re-reads the change log past the last enqueued seqno and enqueues
+  // anything missed — the recovery half of lossy notifications. The same
+  // healing runs implicitly whenever a later notification arrives; CatchUp
+  // forces it when no further change is coming. Returns changes recovered.
+  size_t CatchUp();
+
   TriggerStats stats() const;
 
  private:
+  void OnChange(const db::ChangeRecord& change);
+  // Pushes one record (counted for Quiesce), rolling back if the queue
+  // already closed. Never called with seq_mutex_ held.
+  void EnqueueChange(const db::ChangeRecord& change);
   void DispatchLoop();
   void ProcessBatch(const std::vector<db::ChangeRecord>& batch);
   // `oldest_commit` is the earliest committed_at in the batch; the apply
@@ -165,6 +191,12 @@ class TriggerMonitor {
   ChangeMapper mapper_;
   TriggerOptions options_;
   const Clock* clock_;
+  fault::FaultInjector* faults_;
+  std::string instance_;  // fault-injection site name (== metrics label)
+
+  // Highest seqno ever enqueued; the gap-healing watermark.
+  std::mutex seq_mutex_;
+  uint64_t last_enqueued_seqno_ = 0;
 
   BlockingQueue<db::ChangeRecord> queue_;
   std::unique_ptr<ThreadPool> pool_;  // only when worker_threads > 1
@@ -189,6 +221,9 @@ class TriggerMonitor {
   metrics::Counter* changes_coalesced_;
   metrics::Counter* render_jobs_;
   metrics::Counter* renders_attempted_;
+  metrics::Counter* notifications_dropped_;
+  metrics::Counter* notifications_recovered_;
+  metrics::Counter* duplicates_injected_;
   metrics::Histogram* update_latency_ms_;
   metrics::Histogram* fanout_;
   metrics::Histogram* batch_apply_ms_;

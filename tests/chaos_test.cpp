@@ -1,0 +1,952 @@
+// Chaos suite (ISSUE 3): deterministic fault-injection drills across the
+// whole stack, all driven from a single FaultPlan seed.
+//
+// The headline scenario reproduces the paper's availability story under a
+// scripted kill schedule: one complex dies, one Network Dispatcher dies,
+// and the master's replication feed link is cut — all while the scoring
+// feed keeps committing and clients keep requesting. The suite asserts the
+// three properties the paper claims and DESIGN §8 promises:
+//
+//   1. availability: the fabric keeps serving (>= 99%) right through the
+//      outage window ("elegant degradation", §4.2);
+//   2. eventual freshness: once the faults lift, every replica cache is
+//      byte-identical to a fresh render within the paper's 60 s bound (§3);
+//   3. determinism: the same FaultPlan seed replays byte-identically — the
+//      whole drill transcript, timeline included, matches across runs.
+//
+// A randomized variant draws the kill schedule from NAGANO_CHAOS_SEED
+// (echoed on stdout so any failure is reproducible) and holds the same
+// invariants. Smaller drills cover the degraded serving path (stale
+// last-known-good pages + deadline-bounded retries), trigger notification
+// loss and duplication, database change-log faults, and the real HTTP
+// server's socket faults and slow-loris defense.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "cluster/net.h"
+#include "common/clock.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/serving_site.h"
+#include "db/database.h"
+#include "http/client.h"
+#include "http/server.h"
+#include "pagegen/olympic.h"
+#include "replication/replication.h"
+#include "server/serving.h"
+#include "trigger/trigger_monitor.h"
+#include "workload/feed.h"
+#include "workload/sampler.h"
+
+namespace nagano {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Plan-building helpers
+// ---------------------------------------------------------------------------
+
+fault::FaultRule WindowRule(std::string site, std::string operation,
+                            double from_s, double until_s) {
+  fault::FaultRule rule;
+  rule.subsystem = "fabric";
+  rule.site = std::move(site);
+  rule.operation = std::move(operation);
+  rule.kind = fault::FaultKind::kWindow;
+  rule.from = static_cast<TimeNs>(from_s * kSecond);
+  rule.until = static_cast<TimeNs>(until_s * kSecond);
+  return rule;
+}
+
+fault::FaultRule LinkCutRule(std::string child, std::string feed,
+                             double from_s, double until_s) {
+  fault::FaultRule rule;
+  rule.subsystem = "replication";
+  rule.site = std::move(child);
+  rule.operation = "pull-from:" + feed;
+  rule.kind = fault::FaultKind::kError;
+  rule.error = ErrorCode::kUnavailable;
+  rule.message = "feed link cut";
+  rule.from = static_cast<TimeNs>(from_s * kSecond);
+  rule.until = static_cast<TimeNs>(until_s * kSecond);
+  return rule;
+}
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// The full-stack scenario: master db + replication tree + two replica
+// serving sites + the four-complex Olympic fabric, driven tick-by-tick
+// under SimClock while a FaultPlan fires.
+// ---------------------------------------------------------------------------
+
+struct ScenarioConfig {
+  fault::FaultPlan plan;
+  uint64_t workload_seed = 0x6368616f73ULL;  // "chaos"
+  int duration_s = 120;      // drive-loop length (sim seconds)
+  int requests_per_tick = 8;
+};
+
+struct ScenarioRun {
+  std::string transcript;     // the byte-identical replay artifact
+  double availability = 0.0;
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t faults_injected = 0;
+  bool converged = false;
+  size_t cache_objects_verified = 0;
+  TimeNs finished_at = 0;     // sim time when freshness was established
+  TimeNs recovery_end = 0;    // latest finite rule `until` in the plan
+};
+
+ScenarioRun RunScenario(const ScenarioConfig& config) {
+  ScenarioRun run;
+  char line[512];
+
+  SimClock clock;
+  metrics::MetricRegistry registry;  // private registry: runs never alias
+  fault::FaultInjector faults(config.plan, &clock);
+  for (const fault::FaultRule& rule : config.plan.rules) {
+    if (rule.until != std::numeric_limits<TimeNs>::max()) {
+      run.recovery_end = std::max(run.recovery_end, rule.until);
+    }
+  }
+
+  // Small site so prefetch + per-tick quiesce stay cheap; the topology and
+  // fault surface are what this drill is about, not page volume.
+  pagegen::OlympicConfig content;
+  content.num_sports = 2;
+  content.events_per_sport = 2;
+  content.languages = {"en"};
+
+  // Master database in Nagano, populated directly by the scoring feed.
+  db::DatabaseOptions master_options;
+  master_options.clock = &clock;
+  master_options.metrics.registry = &registry;
+  master_options.metrics.instance = "master";
+  auto master = std::make_unique<db::Database>(std::move(master_options));
+  if (!pagegen::OlympicSite::Build(content, master.get()).ok()) {
+    ADD_FAILURE() << "OlympicSite::Build failed";
+    return run;
+  }
+
+  replication::ReplicationOptions topo_options;
+  topo_options.clock = &clock;
+  topo_options.faults = &faults;
+  topo_options.metrics.registry = &registry;
+  topo_options.metrics.instance = "repl";
+  replication::ReplicationTopology topology(std::move(topo_options));
+  EXPECT_TRUE(topology.AddNode("Nagano", master.get()).ok());
+
+  // Replica serving sites for the two first-tier complexes. Each wraps its
+  // own database fed by the replication tree; single trigger worker keeps
+  // cache state a pure function of the committed log (determinism).
+  std::map<std::string, std::unique_ptr<core::ServingSite>> sites;
+  for (const char* name : {"Tokyo", "Schaumburg"}) {
+    db::DatabaseOptions replica_options;
+    replica_options.clock = &clock;
+    replica_options.metrics.registry = &registry;
+    replica_options.metrics.instance = std::string(name) + "-db";
+    auto replica = std::make_unique<db::Database>(std::move(replica_options));
+    if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
+      ADD_FAILURE() << "CreateSchema failed for " << name;
+      return run;
+    }
+    db::Database* raw = replica.get();
+
+    core::SiteOptions site_options;
+    site_options.olympic = content;
+    site_options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+    site_options.trigger.worker_threads = 1;
+    site_options.clock = &clock;
+    site_options.faults = &faults;
+    site_options.retain_stale = true;
+    site_options.metrics.registry = &registry;
+    site_options.metrics.instance = name;
+    auto site_or = core::ServingSite::CreateAround(std::move(site_options),
+                                                   std::move(replica));
+    if (!site_or.ok()) {
+      ADD_FAILURE() << "CreateAround failed for " << name << ": "
+                    << site_or.status().message();
+      return run;
+    }
+    sites[name] = std::move(site_or.value());
+    EXPECT_TRUE(topology.AddNode(name, raw).ok());
+  }
+  EXPECT_TRUE(topology.SetFeed("Tokyo", "Nagano", FromMillis(40)).ok());
+  EXPECT_TRUE(topology.SetFeed("Schaumburg", "Nagano", FromMillis(130)).ok());
+  // The paper's recovery path: Tokyo can feed Schaumburg when the
+  // transpacific link to the master dies.
+  EXPECT_TRUE(topology.SetFailoverFeed("Schaumburg", "Tokyo").ok());
+
+  // Initial catch-up and warm caches, pre-fault.
+  clock.Advance(kSecond);
+  topology.PumpUntilQuiet();
+  for (auto& [_, site] : sites) {
+    auto prefetched = site->PrefetchAll();
+    EXPECT_TRUE(prefetched.ok());
+    site->StartTrigger();
+  }
+
+  // The four-complex fabric; the FaultPlan's kWindow rules drive Fail*/
+  // Recover* transitions from inside Route().
+  cluster::RegionCosts costs = cluster::RegionCosts::OlympicDefault();
+  const size_t num_regions = costs.num_regions();
+  cluster::FabricOptions fabric_options =
+      cluster::FabricOptions::Olympic(std::move(costs), &clock);
+  fabric_options.faults = &faults;
+  fabric_options.metrics.registry = &registry;
+  fabric_options.metrics.instance = "fabric";
+  cluster::ServingFabric fabric(std::move(fabric_options));
+
+  // Deterministic scoring feed: the whole day's schedule compressed into
+  // the drill window so commits keep flowing through the outage.
+  workload::FeedOptions feed_options;
+  feed_options.results_per_event = 6;
+  feed_options.news_per_day = 2;
+  feed_options.photos_per_event = 0;
+  feed_options.first_event_offset = 0;
+  feed_options.event_window = 90 * kSecond;
+  workload::ResultFeed feed(master.get(), feed_options, 98);
+  std::vector<workload::FeedUpdate> schedule = feed.BuildDaySchedule(1);
+
+  workload::PageSampler sampler(content, *master);
+  sampler.SetCurrentDay(1);
+  Rng rng(config.workload_seed);
+
+  std::vector<core::ServingSite*> serve_ring = {sites["Tokyo"].get(),
+                                                sites["Schaumburg"].get()};
+  const cluster::LinkClass link = cluster::Lan10M();
+  const TimeNs start = clock.Now();
+  size_t next_update = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  size_t ring = 0;
+
+  std::snprintf(line, sizeof line,
+                "chaos drill: seed=%llu workload=%llu duration=%ds\n",
+                static_cast<unsigned long long>(config.plan.seed),
+                static_cast<unsigned long long>(config.workload_seed),
+                config.duration_s);
+  run.transcript += line;
+
+  for (int t = 1; t <= config.duration_s; ++t) {
+    clock.Advance(kSecond);
+    const TimeNs elapsed = clock.Now() - start;
+
+    // Commits due this tick reach the master; replicas pull what has
+    // arrived given their link lag (plus whatever the plan injects).
+    while (next_update < schedule.size() &&
+           schedule[next_update].at <= elapsed) {
+      EXPECT_TRUE(feed.Apply(schedule[next_update]).ok());
+      ++next_update;
+    }
+    topology.Pump();
+    // Drain each site's trigger queue so the serve below reads a settled
+    // cache — keeps page bytes (and hence modeled CPU cost) a pure
+    // function of the replicated log.
+    for (core::ServingSite* site : serve_ring) site->Quiesce();
+
+    for (int r = 0; r < config.requests_per_tick; ++r) {
+      const std::string page = sampler.Sample(rng);
+      core::ServingSite* site = serve_ring[ring++ % serve_ring.size()];
+      const server::ServeOutcome outcome = site->Serve(page);
+      const size_t bytes = outcome.bytes > 0 ? outcome.bytes : 1024;
+      const auto routed = fabric.Route((t + r) % num_regions,
+                                       outcome.cpu_cost, bytes, link);
+      if (routed.served) {
+        ++served;
+      } else {
+        ++failed;
+      }
+    }
+
+    if (t % 10 == 0) {
+      const auto schaumburg = topology.StatusOf("Schaumburg");
+      std::snprintf(
+          line, sizeof line,
+          "t=%3ds served=%llu failed=%llu master_seq=%llu tokyo_seq=%llu "
+          "schaumburg_seq=%llu schaumburg_feed=%s failovers=%llu "
+          "stalls=%llu\n",
+          t, static_cast<unsigned long long>(served),
+          static_cast<unsigned long long>(failed),
+          static_cast<unsigned long long>(master->LastSeqno()),
+          static_cast<unsigned long long>(
+              sites["Tokyo"]->db().LastSeqno()),
+          static_cast<unsigned long long>(
+              sites["Schaumburg"]->db().LastSeqno()),
+          schaumburg.ok() ? schaumburg.value().feed.c_str() : "?",
+          static_cast<unsigned long long>(topology.failovers()),
+          static_cast<unsigned long long>(topology.stalls()));
+      run.transcript += line;
+    }
+  }
+
+  // Faults are over (the drive loop outlives every finite window); settle
+  // the tree and verify the freshness bound.
+  topology.PumpUntilQuiet();
+  for (core::ServingSite* site : serve_ring) site->Quiesce();
+  run.converged = topology.Converged();
+  run.finished_at = clock.Now() - start;
+  for (core::ServingSite* site : serve_ring) {
+    auto verified = site->VerifyCacheConsistency();
+    EXPECT_TRUE(verified.ok()) << verified.status().message();
+    if (verified.ok()) run.cache_objects_verified += verified.value();
+  }
+
+  run.requests = served + failed;
+  run.served = served;
+  run.availability =
+      run.requests == 0
+          ? 0.0
+          : static_cast<double>(served) / static_cast<double>(run.requests);
+  run.faults_injected = faults.injected_total();
+
+  std::snprintf(line, sizeof line,
+                "availability=%.4f requests=%llu converged=%s "
+                "cache_objects_verified=%zu faults_injected=%llu\n",
+                run.availability,
+                static_cast<unsigned long long>(run.requests),
+                run.converged ? "yes" : "no", run.cache_objects_verified,
+                static_cast<unsigned long long>(run.faults_injected));
+  run.transcript += line;
+
+  // Content fingerprints: cached bytes of three representative pages per
+  // site, post-convergence. Catches any divergence the counters miss.
+  for (core::ServingSite* site : serve_ring) {
+    for (const std::string& page :
+         {pagegen::OlympicSite::DayHomePage(1),
+          pagegen::OlympicSite::EventPage(1), pagegen::OlympicSite::MedalsPage()}) {
+      const server::ServeOutcome outcome = site->Serve(page, true);
+      std::snprintf(line, sizeof line, "page %s bytes=%zu fnv=%016llx\n",
+                    page.c_str(), outcome.bytes,
+                    static_cast<unsigned long long>(Fnv1a(outcome.body)));
+      run.transcript += line;
+    }
+  }
+
+  run.transcript += "injected-fault timeline:\n";
+  run.transcript += faults.TimelineString();
+  return run;
+}
+
+// The scripted headline schedule: Tokyo complex dies at t=30s, Schaumburg
+// loses a dispatcher at t=40s, and the Nagano->Schaumburg feed link is cut
+// at t=35s (forcing the auto re-parent onto Tokyo). Everything recovers by
+// t=70s.
+fault::FaultPlan ScriptedKillPlan() {
+  fault::FaultPlan plan;
+  plan.seed = 1998;
+  plan.rules.push_back(WindowRule("Tokyo", "complex", 30, 60));
+  plan.rules.push_back(WindowRule("Schaumburg", "dispatcher:0", 40, 70));
+  plan.rules.push_back(LinkCutRule("Schaumburg", "Nagano", 35, 65));
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Headline scripted scenario
+// ---------------------------------------------------------------------------
+
+TEST(ChaosScriptedTest, KillScheduleKeepsServingAndConverges) {
+  ScenarioConfig config;
+  config.plan = ScriptedKillPlan();
+  const ScenarioRun run = RunScenario(config);
+
+  // §4.2 elegant degradation: a dead complex plus a dead dispatcher must
+  // not dent availability — three complexes and the secondary dispatchers
+  // absorb the traffic.
+  EXPECT_GE(run.requests, 900u);
+  EXPECT_GE(run.availability, 0.99) << run.transcript;
+
+  // §3 freshness: after the last fault lifts at t=70s, every replica cache
+  // must be byte-fresh within the paper's 60 s bound. The drill establishes
+  // consistency at finished_at (VerifyCacheConsistency passed there).
+  EXPECT_TRUE(run.converged) << run.transcript;
+  EXPECT_GT(run.cache_objects_verified, 0u);
+  EXPECT_LE(run.finished_at, run.recovery_end + 60 * kSecond);
+
+  // The plan actually fired, and the timeline shows the scripted kills.
+  EXPECT_GT(run.faults_injected, 0u);
+  EXPECT_NE(run.transcript.find("fabric/Tokyo/complex"), std::string::npos);
+  EXPECT_NE(run.transcript.find("fabric/Schaumburg/dispatcher:0"),
+            std::string::npos);
+  EXPECT_NE(run.transcript.find("replication/Schaumburg"), std::string::npos);
+  // The link cut forced the Tokyo re-parent.
+  EXPECT_NE(run.transcript.find("schaumburg_feed=Tokyo"), std::string::npos);
+}
+
+TEST(ChaosScriptedTest, SameSeedReplaysByteIdentically) {
+  ScenarioConfig config;
+  config.plan = ScriptedKillPlan();
+  const ScenarioRun first = RunScenario(config);
+  const ScenarioRun second = RunScenario(config);
+  EXPECT_EQ(first.transcript, second.transcript);
+  EXPECT_EQ(first.served, second.served);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized scenario (NAGANO_CHAOS_SEED)
+// ---------------------------------------------------------------------------
+
+// Draws a kill schedule that is adversarial but survivable: exactly one
+// whole complex dies, a dispatcher dies elsewhere, two random nodes die
+// anywhere, and the master's Schaumburg feed link is cut. All windows close
+// by t=80s so the 60 s freshness bound is checkable inside the drill.
+fault::FaultPlan RandomKillPlan(uint64_t seed) {
+  static const char* kComplexes[] = {"Tokyo", "Schaumburg", "Columbus",
+                                     "Bethesda"};
+  Rng rng(seed);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+
+  const size_t victim = rng.NextBelow(4);
+  const double complex_from = 20.0 + static_cast<double>(rng.NextBelow(15));
+  const double complex_len = 10.0 + static_cast<double>(rng.NextBelow(20));
+  plan.rules.push_back(WindowRule(kComplexes[victim], "complex", complex_from,
+                                  complex_from + complex_len));
+
+  const size_t other = (victim + 1 + rng.NextBelow(3)) % 4;
+  const double disp_from = 20.0 + static_cast<double>(rng.NextBelow(30));
+  const double disp_len = 10.0 + static_cast<double>(rng.NextBelow(25));
+  char op[32];
+  std::snprintf(op, sizeof op, "dispatcher:%d",
+                static_cast<int>(rng.NextBelow(4)));
+  plan.rules.push_back(
+      WindowRule(kComplexes[other], op, disp_from, disp_from + disp_len));
+
+  for (int i = 0; i < 2; ++i) {
+    const size_t cx = rng.NextBelow(4);
+    std::snprintf(op, sizeof op, "node:%d.%d",
+                  static_cast<int>(rng.NextBelow(3)),
+                  static_cast<int>(rng.NextBelow(8)));
+    const double from = 15.0 + static_cast<double>(rng.NextBelow(40));
+    const double len = 5.0 + static_cast<double>(rng.NextBelow(20));
+    plan.rules.push_back(WindowRule(kComplexes[cx], op, from, from + len));
+  }
+
+  const double cut_from = 25.0 + static_cast<double>(rng.NextBelow(20));
+  const double cut_len = 10.0 + static_cast<double>(rng.NextBelow(15));
+  plan.rules.push_back(
+      LinkCutRule("Schaumburg", "Nagano", cut_from, cut_from + cut_len));
+  return plan;
+}
+
+TEST(ChaosRandomizedTest, RandomKillScheduleSurvives) {
+  uint64_t seed = 19980207ULL;  // opening day in Nagano
+  if (const char* env = std::getenv("NAGANO_CHAOS_SEED");
+      env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  // Echoed so a CI failure is reproducible with NAGANO_CHAOS_SEED=<seed>.
+  std::printf("chaos: randomized scenario seed=%llu "
+              "(rerun with NAGANO_CHAOS_SEED=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  ::testing::Test::RecordProperty("chaos_seed", std::to_string(seed));
+
+  ScenarioConfig config;
+  config.plan = RandomKillPlan(seed);
+  config.workload_seed = seed ^ 0x6368616f73ULL;
+  const ScenarioRun run = RunScenario(config);
+
+  EXPECT_GE(run.availability, 0.99) << run.transcript;
+  EXPECT_TRUE(run.converged) << run.transcript;
+  EXPECT_GT(run.cache_objects_verified, 0u);
+  EXPECT_LE(run.finished_at, run.recovery_end + 60 * kSecond);
+  EXPECT_GT(run.faults_injected, 0u);
+
+  // Determinism holds for every seed, not just the scripted one.
+  const ScenarioRun replay = RunScenario(config);
+  EXPECT_EQ(run.transcript, replay.transcript);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded serving: last-known-good pages, bounded retries, deadlines
+// ---------------------------------------------------------------------------
+
+class DegradedServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::SiteOptions options;
+    options.olympic.num_sports = 1;
+    options.olympic.events_per_sport = 1;
+    options.olympic.languages = {"en"};
+    options.clock = &clock_;
+    options.retain_stale = true;
+    auto site_or = core::ServingSite::Create(std::move(options));
+    ASSERT_TRUE(site_or.ok()) << site_or.status().message();
+    site_ = std::move(site_or.value());
+
+    // A page whose generator fails on demand — the renderer-side stand-in
+    // for a database/backend outage during regeneration.
+    site_->renderer().RegisterExact(
+        "/chaos/flaky",
+        [this](const pagegen::RenderRequest&) -> Result<std::string> {
+          ++generator_calls_;
+          if (fail_.load()) {
+            return transient_.load()
+                       ? UnavailableError("injected backend outage")
+                       : InternalError("injected permanent failure");
+          }
+          return std::string("flaky page body v1");
+        });
+  }
+
+  server::DynamicPageServer MakeServer(server::DynamicPageServer::Options o) {
+    o.clock = &clock_;
+    return server::DynamicPageServer(&site_->cache(), &site_->renderer(),
+                                     std::move(o));
+  }
+
+  SimClock clock_;
+  std::unique_ptr<core::ServingSite> site_;
+  std::atomic<bool> fail_{false};
+  std::atomic<bool> transient_{true};
+  std::atomic<int> generator_calls_{0};
+};
+
+TEST_F(DegradedServingTest, StaleLastKnownGoodServedWhenGenerationFails) {
+  server::DynamicPageServer::Options options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = FromMillis(10);
+  server::DynamicPageServer server = MakeServer(std::move(options));
+
+  // Prime: generation succeeds and the body is cached.
+  const auto primed = server.Serve("/chaos/flaky", true);
+  EXPECT_EQ(primed.cls, server::ServeClass::kCacheMissGenerated);
+  EXPECT_EQ(primed.body, "flaky page body v1");
+
+  // Invalidate (retain_stale keeps the copy reachable), then break the
+  // generator. The serve path must retry, give up, and fall back.
+  clock_.Advance(5 * kSecond);
+  EXPECT_TRUE(site_->cache().Invalidate("/chaos/flaky"));
+  fail_ = true;
+  generator_calls_ = 0;
+
+  const auto degraded = server.Serve("/chaos/flaky", true);
+  EXPECT_EQ(degraded.cls, server::ServeClass::kDegradedStale);
+  EXPECT_EQ(degraded.body, "flaky page body v1");
+  EXPECT_EQ(degraded.retries, 3u);             // max_attempts - 1
+  EXPECT_EQ(generator_calls_, 4);              // every attempt reached it
+  EXPECT_EQ(degraded.stale_age, 5 * kSecond);  // age of the copy served
+  EXPECT_EQ(degraded.error.code(), ErrorCode::kUnavailable);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.stale_serves, 1u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(DegradedServingTest, NonTransientFailureSkipsRetrySchedule) {
+  server::DynamicPageServer::Options options;
+  options.retry.max_attempts = 5;
+  server::DynamicPageServer server = MakeServer(std::move(options));
+
+  (void)server.Serve("/chaos/flaky", true);  // prime
+  EXPECT_TRUE(site_->cache().Invalidate("/chaos/flaky"));
+  fail_ = true;
+  transient_ = false;  // kInternal: retrying cannot help
+  generator_calls_ = 0;
+
+  const auto degraded = server.Serve("/chaos/flaky", true);
+  EXPECT_EQ(degraded.cls, server::ServeClass::kDegradedStale);
+  EXPECT_EQ(degraded.retries, 0u);
+  EXPECT_EQ(generator_calls_, 1);
+  EXPECT_EQ(degraded.error.code(), ErrorCode::kInternal);
+}
+
+TEST_F(DegradedServingTest, ErrorWhenNoLastKnownGoodExists) {
+  server::DynamicPageServer::Options options;
+  options.retry.max_attempts = 2;
+  server::DynamicPageServer server = MakeServer(std::move(options));
+
+  fail_ = true;  // never successfully generated, nothing cached
+  const auto outcome = server.Serve("/chaos/flaky", true);
+  EXPECT_EQ(outcome.cls, server::ServeClass::kError);
+  EXPECT_EQ(outcome.error.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(server.stats().errors, 1u);
+  EXPECT_EQ(server.stats().stale_serves, 0u);
+}
+
+TEST_F(DegradedServingTest, StaleFallbackCanBeDisabled) {
+  server::DynamicPageServer::Options options;
+  options.serve_stale_on_error = false;
+  server::DynamicPageServer server = MakeServer(std::move(options));
+
+  (void)server.Serve("/chaos/flaky", true);  // prime
+  EXPECT_TRUE(site_->cache().Invalidate("/chaos/flaky"));
+  fail_ = true;
+
+  const auto outcome = server.Serve("/chaos/flaky", true);
+  EXPECT_EQ(outcome.cls, server::ServeClass::kError);
+  EXPECT_EQ(server.stats().stale_serves, 0u);
+}
+
+TEST_F(DegradedServingTest, DeadlineCutsRetryBudgetShort) {
+  server::DynamicPageServer::Options options;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff = FromMillis(10);
+  options.retry.multiplier = 2.0;
+  options.retry.max_backoff = FromMillis(200);
+  options.retry.jitter = 0.0;  // exact schedule for exact assertions
+  options.default_deadline = FromMillis(25);
+  server::DynamicPageServer server = MakeServer(std::move(options));
+
+  fail_ = true;
+  generator_calls_ = 0;
+  const auto outcome = server.Serve("/chaos/flaky", true);
+  // Backoff schedule 10ms, 20ms, 40ms... — the 40ms pause would cross the
+  // 25ms budget, so the retry loop stops after two retries instead of five.
+  EXPECT_EQ(outcome.cls, server::ServeClass::kError);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_EQ(generator_calls_, 3);
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end: X-Cache: STALE surfacing and the deadline header path
+// ---------------------------------------------------------------------------
+
+TEST_F(DegradedServingTest, HttpFrontEndMarksDegradedResponses) {
+  server::FrontEndOptions front_options;
+  server::HttpFrontEnd front(&site_->page_server(), std::move(front_options));
+  ASSERT_TRUE(front.Start().ok());
+
+  // Prime over real HTTP, then break the generator and invalidate.
+  auto primed = http::HttpClient::FetchOnce("127.0.0.1", front.port(),
+                                            "/chaos/flaky");
+  ASSERT_TRUE(primed.ok()) << primed.status().message();
+  EXPECT_EQ(primed.value().status, 200);
+  EXPECT_EQ(primed.value().body, "flaky page body v1");
+
+  clock_.Advance(3 * kSecond + FromMillis(500));
+  EXPECT_TRUE(site_->cache().Invalidate("/chaos/flaky"));
+  fail_ = true;
+
+  auto degraded = http::HttpClient::FetchOnce("127.0.0.1", front.port(),
+                                              "/chaos/flaky");
+  ASSERT_TRUE(degraded.ok()) << degraded.status().message();
+  // Degraded serving is still a 200: the user gets the page, with headers
+  // announcing its provenance and age.
+  EXPECT_EQ(degraded.value().status, 200);
+  EXPECT_EQ(degraded.value().body, "flaky page body v1");
+  auto cache_header = degraded.value().headers.find("X-Cache");
+  ASSERT_NE(cache_header, degraded.value().headers.end());
+  EXPECT_EQ(cache_header->second, "STALE");
+  auto age_header = degraded.value().headers.find("X-Nagano-Stale");
+  ASSERT_NE(age_header, degraded.value().headers.end());
+  EXPECT_EQ(age_header->second, "3.500");  // seconds, from the site clock
+
+  front.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Trigger monitor: lost and duplicated notifications
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<core::ServingSite> MakeFaultedSite(
+    const Clock* clock, fault::FaultInjector* faults) {
+  core::SiteOptions options;
+  options.olympic.num_sports = 1;
+  options.olympic.events_per_sport = 2;
+  options.olympic.languages = {"en"};
+  options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+  options.trigger.worker_threads = 1;
+  options.clock = clock;
+  options.faults = faults;
+  auto site_or = core::ServingSite::Create(std::move(options));
+  EXPECT_TRUE(site_or.ok());
+  return site_or.ok() ? std::move(site_or.value()) : nullptr;
+}
+
+TEST(ChaosTriggerTest, DroppedNotificationHealsThroughCatchUp) {
+  SimClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::FaultRule drop;
+  drop.subsystem = "trigger";
+  drop.operation = "notify";
+  drop.kind = fault::FaultKind::kError;
+  // No max_fires: every notification is lost, so the implicit gap-heal on
+  // the next delivery can never run — only an explicit CatchUp recovers.
+  plan.rules.push_back(drop);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  auto site = MakeFaultedSite(&clock, &faults);
+  ASSERT_NE(site, nullptr);
+  ASSERT_TRUE(site->PrefetchAll().ok());
+  site->StartTrigger();
+
+  // This commit's notifications are dropped on the floor: the cache keeps
+  // serving the pre-commit bytes.
+  ASSERT_TRUE(site->RecordResult(1, 1, 101, 9.5).ok());
+  site->Quiesce();
+  EXPECT_GE(site->trigger_monitor().stats().notifications_dropped, 1u);
+  auto stale_check = site->VerifyCacheConsistency();
+  EXPECT_FALSE(stale_check.ok())
+      << "cache should be stale after a dropped notification";
+
+  // CatchUp replays the change log past the lost notifications (it reads
+  // the log directly, so the dying notification path cannot stop it).
+  EXPECT_GT(site->trigger_monitor().CatchUp(), 0u);
+  site->Quiesce();
+  auto healed = site->VerifyCacheConsistency();
+  EXPECT_TRUE(healed.ok()) << healed.status().message();
+  EXPECT_GE(site->trigger_monitor().stats().notifications_recovered, 1u);
+}
+
+TEST(ChaosTriggerTest, LaterNotificationHealsEarlierDrop) {
+  SimClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 8;
+  fault::FaultRule drop;
+  drop.subsystem = "trigger";
+  drop.operation = "notify";
+  drop.kind = fault::FaultKind::kError;
+  drop.max_fires = 1;
+  plan.rules.push_back(drop);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  auto site = MakeFaultedSite(&clock, &faults);
+  ASSERT_NE(site, nullptr);
+  ASSERT_TRUE(site->PrefetchAll().ok());
+  site->StartTrigger();
+
+  ASSERT_TRUE(site->RecordResult(1, 1, 101, 9.5).ok());  // dropped
+  ASSERT_TRUE(site->RecordResult(1, 2, 102, 9.1).ok());  // heals the gap
+  site->Quiesce();
+  auto healed = site->VerifyCacheConsistency();
+  EXPECT_TRUE(healed.ok()) << healed.status().message();
+  EXPECT_EQ(site->trigger_monitor().stats().notifications_dropped, 1u);
+  EXPECT_GE(site->trigger_monitor().stats().notifications_recovered, 1u);
+}
+
+TEST(ChaosTriggerTest, DuplicateNotificationIsIdempotent) {
+  SimClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  fault::FaultRule dup;
+  dup.subsystem = "trigger";
+  dup.operation = "notify";
+  dup.kind = fault::FaultKind::kDuplicate;
+  dup.duplicates = 1;
+  dup.max_fires = 1;
+  plan.rules.push_back(dup);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  auto site = MakeFaultedSite(&clock, &faults);
+  ASSERT_NE(site, nullptr);
+  ASSERT_TRUE(site->PrefetchAll().ok());
+  site->StartTrigger();
+
+  ASSERT_TRUE(site->RecordResult(1, 1, 101, 9.5).ok());
+  site->Quiesce();
+  EXPECT_EQ(site->trigger_monitor().stats().duplicates_injected, 1u);
+  // Re-delivery re-renders the same objects; the cache must end up exactly
+  // where a single delivery would have left it.
+  auto verified = site->VerifyCacheConsistency();
+  EXPECT_TRUE(verified.ok()) << verified.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// Database fault points
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDbTest, InjectedCommitErrorFailsCleanly) {
+  SimClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  fault::FaultRule rule;
+  rule.subsystem = "db";
+  rule.operation = "commit";
+  rule.kind = fault::FaultKind::kError;
+  rule.error = ErrorCode::kUnavailable;
+  rule.from = kSecond;  // let schema/content setup commits through first
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  db::DatabaseOptions options;
+  options.clock = &clock;
+  options.faults = &faults;
+  db::Database db(std::move(options));
+  pagegen::OlympicConfig content;
+  content.num_sports = 1;
+  content.events_per_sport = 1;
+  content.languages = {"en"};
+  ASSERT_TRUE(pagegen::OlympicSite::Build(content, &db).ok());
+
+  clock.Advance(2 * kSecond);  // into the fault window
+  // The injected commit error fails the mutation cleanly: no seqno is
+  // consumed, no change-log record is written, and the retry succeeds.
+  const uint64_t before = db.LastSeqno();
+  const Status failed = pagegen::OlympicSite::RecordResult(&db, 1, 1, 101, 9.5);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsTransient(failed));
+  EXPECT_EQ(db.LastSeqno(), before);
+  EXPECT_TRUE(pagegen::OlympicSite::RecordResult(&db, 1, 1, 101, 9.5).ok());
+  // The retry lands both commits: the result row plus the event's
+  // scheduled -> in_progress status flip.
+  EXPECT_EQ(db.LastSeqno(), before + 2);
+}
+
+TEST(ChaosDbTest, InjectedChangeLogErrorIsTransient) {
+  SimClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 12;
+  fault::FaultRule rule;
+  rule.subsystem = "db";
+  rule.operation = "changes";
+  rule.kind = fault::FaultKind::kError;
+  rule.error = ErrorCode::kUnavailable;
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  db::DatabaseOptions options;
+  options.clock = &clock;
+  options.faults = &faults;
+  db::Database db(std::move(options));
+
+  auto first = db.ReadChanges(0, 16);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsTransient(first.status()));
+  auto second = db.ReadChanges(0, 16);
+  EXPECT_TRUE(second.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Real HTTP server: socket faults and the slow-loris sweep
+// ---------------------------------------------------------------------------
+
+http::HttpServer::Options HttpOptionsWith(fault::FaultInjector* faults,
+                                          TimeNs idle_timeout = 0) {
+  http::HttpServer::Options options;
+  options.port = 0;
+  options.faults = faults;
+  options.idle_timeout = idle_timeout;
+  return options;
+}
+
+TEST(ChaosHttpTest, InjectedAcceptFaultDropsOneConnection) {
+  fault::FaultPlan plan;
+  plan.seed = 13;
+  fault::FaultRule rule;
+  rule.subsystem = "http";
+  rule.operation = "accept";
+  rule.kind = fault::FaultKind::kError;
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  fault::FaultInjector faults(std::move(plan));  // wall clock
+
+  http::HttpServer server(
+      [](const http::HttpRequest&) { return http::HttpResponse::Ok("hi"); },
+      HttpOptionsWith(&faults));
+  ASSERT_TRUE(server.Start().ok());
+
+  // The first connection is killed at accept; the client sees a failed
+  // round trip, not a hang.
+  auto first = http::HttpClient::FetchOnce("127.0.0.1", server.port(), "/");
+  EXPECT_FALSE(first.ok());
+  // The next connection goes through untouched.
+  auto second = http::HttpClient::FetchOnce("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(second.value().body, "hi");
+  EXPECT_GE(faults.injected_total(), 1u);
+  server.Stop();
+}
+
+TEST(ChaosHttpTest, InjectedReadFaultClosesMidRequest) {
+  fault::FaultPlan plan;
+  plan.seed = 14;
+  fault::FaultRule rule;
+  rule.subsystem = "http";
+  rule.operation = "read";
+  rule.kind = fault::FaultKind::kError;
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  fault::FaultInjector faults(std::move(plan));
+
+  http::HttpServer server(
+      [](const http::HttpRequest&) { return http::HttpResponse::Ok("hi"); },
+      HttpOptionsWith(&faults));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = http::HttpClient::FetchOnce("127.0.0.1", server.port(), "/");
+  EXPECT_FALSE(first.ok());
+  auto second = http::HttpClient::FetchOnce("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(second.value().status, 200);
+  server.Stop();
+}
+
+TEST(ChaosHttpTest, SlowLorisConnectionIsReaped) {
+  http::HttpServer server(
+      [](const http::HttpRequest&) { return http::HttpResponse::Ok("hi"); },
+      HttpOptionsWith(nullptr, FromMillis(150)));
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that sends half a request line and then just sits there.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const char partial[] = "GET / HTT";
+  ASSERT_EQ(::send(fd, partial, sizeof partial - 1, 0),
+            static_cast<ssize_t>(sizeof partial - 1));
+
+  // The idle sweep (100 ms cadence) must reap the connection once it has
+  // been silent past idle_timeout. Poll rather than sleep a fixed time so
+  // the test is fast on idle machines and tolerant on loaded ones.
+  bool reaped = false;
+  for (int i = 0; i < 100 && !reaped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    reaped = server.stats().idle_closed >= 1;
+  }
+  EXPECT_TRUE(reaped) << "idle sweep never closed the slow-loris connection";
+
+  // The kernel tells the loris its socket is gone.
+  char buf[16];
+  const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  // An honest client is unaffected.
+  auto ok = http::HttpClient::FetchOnce("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_EQ(ok.value().body, "hi");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace nagano

@@ -49,6 +49,19 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueueTest, RejectsSchedulingInThePast) {
+  SimClock clock(0);
+  EventQueue queue(&clock);
+  clock.Advance(100);
+  const Status past = queue.At(50, [] {});
+  EXPECT_FALSE(past.ok());
+  EXPECT_EQ(past.code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(queue.After(-1, [] {}).ok());
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_TRUE(queue.At(150, [] {}).ok());
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
 TEST(EventQueueTest, HandlersMayScheduleMore) {
   SimClock clock(0);
   EventQueue queue(&clock);
@@ -119,8 +132,8 @@ class FabricTest : public ::testing::Test {
  protected:
   FabricTest()
       : costs_(RegionCosts::OlympicDefault()),
-        fabric_(FabricConfig::Olympic(), RegionCosts::OlympicDefault(),
-                &clock_) {}
+        fabric_(FabricOptions::Olympic(RegionCosts::OlympicDefault(),
+                                       &clock_)) {}
 
   size_t Region(const char* name) { return costs_.RegionIndex(name).value(); }
   size_t Complex(const char* name) { return costs_.ComplexIndex(name).value(); }

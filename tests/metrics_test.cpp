@@ -309,10 +309,10 @@ TEST(AdminEndpointTest, MetricsHealthzStatuszOverHttp) {
   ASSERT_TRUE(site.PrefetchAll().ok());
   site.StartTrigger();
 
-  http::HttpServer::Options http_options;
-  http_options.metrics.registry = &registry;
-  http_options.metrics.instance = "e2e";
-  server::HttpFrontEnd front(&site.page_server(), http_options);
+  server::FrontEndOptions front_options;
+  front_options.http.metrics.registry = &registry;
+  front_options.http.metrics.instance = "e2e";
+  server::HttpFrontEnd front(&site.page_server(), std::move(front_options));
   front.EnableAdmin(&registry, [&site] { return site.Health(); });
   ASSERT_TRUE(front.Start().ok());
   http::HttpClient client("127.0.0.1", front.port());

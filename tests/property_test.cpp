@@ -192,8 +192,8 @@ class FabricChaosTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(FabricChaosTest, ServedWheneverAnyComplexHealthy) {
   Rng rng(GetParam());
   SimClock clock;
-  cluster::ServingFabric fabric(cluster::FabricConfig::Olympic(),
-                                cluster::RegionCosts::OlympicDefault(), &clock);
+  cluster::ServingFabric fabric(cluster::FabricOptions::Olympic(
+      cluster::RegionCosts::OlympicDefault(), &clock));
   const std::vector<std::string> complexes = {"Schaumburg", "Columbus",
                                               "Bethesda", "Tokyo"};
   std::set<std::string> down;

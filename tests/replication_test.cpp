@@ -200,5 +200,149 @@ TEST_F(ReplicationTest, ConvergedWithNoTraffic) {
   EXPECT_TRUE(topology_.Converged());
 }
 
+// Same tree, but the failures come from a deterministic FaultPlan instead
+// of MarkDown calls — the link dies underneath a pump, the way a real
+// circuit flaps.
+class FaultedReplicationTest : public ::testing::Test {
+ protected:
+  void Init(fault::FaultPlan plan) {
+    faults_ = std::make_unique<fault::FaultInjector>(std::move(plan), &clock_);
+    ReplicationOptions options;
+    options.clock = &clock_;
+    options.faults = faults_.get();
+    topology_ = std::make_unique<ReplicationTopology>(std::move(options));
+    for (const char* name :
+         {"Nagano", "Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
+      auto database = std::make_unique<Database>(&clock_);
+      ASSERT_TRUE(database
+                      ->CreateTable("results", {{"k", ColumnType::kInt},
+                                                {"v", ColumnType::kString}})
+                      .ok());
+      dbs_[name] = std::move(database);
+      ASSERT_TRUE(topology_->AddNode(name, dbs_[name].get()).ok());
+    }
+    ASSERT_TRUE(topology_->SetFeed("Tokyo", "Nagano", FromMillis(50)).ok());
+    ASSERT_TRUE(
+        topology_->SetFeed("Schaumburg", "Nagano", FromMillis(120)).ok());
+    ASSERT_TRUE(
+        topology_->SetFeed("Columbus", "Schaumburg", FromMillis(30)).ok());
+    ASSERT_TRUE(
+        topology_->SetFeed("Bethesda", "Schaumburg", FromMillis(30)).ok());
+    ASSERT_TRUE(topology_->SetFailoverFeed("Schaumburg", "Tokyo").ok());
+  }
+
+  void Commit(int k) {
+    ASSERT_TRUE(dbs_["Nagano"]
+                    ->Upsert("results", {Value(int64_t(k)),
+                                         Value(std::string("r"))})
+                    .ok());
+  }
+
+  // The no-loss/no-duplication invariant: `node`'s change log is exactly
+  // seqnos 1..expected, each once, in order.
+  void ExpectDenseLog(const char* node, uint64_t expected) {
+    const auto log = dbs_[node]->ChangesSince(0);
+    ASSERT_EQ(log.size(), expected) << node;
+    for (size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].seqno, i + 1) << node << " position " << i;
+    }
+  }
+
+  SimClock clock_{0};
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+  std::unique_ptr<fault::FaultInjector> faults_;
+  std::unique_ptr<ReplicationTopology> topology_;
+};
+
+TEST_F(FaultedReplicationTest, InjectedFeedDeathReparentsWithoutLossOrDup) {
+  // The Nagano->Schaumburg link errors for the whole [1s, 2s) window; the
+  // backup path from Tokyo stays healthy.
+  fault::FaultPlan plan;
+  fault::FaultRule link_down;
+  link_down.subsystem = "replication";
+  link_down.site = "Schaumburg";
+  link_down.operation = "pull-from:Nagano";
+  link_down.kind = fault::FaultKind::kError;
+  link_down.error = ErrorCode::kUnavailable;
+  link_down.from = kSecond;
+  link_down.until = 2 * kSecond;
+  plan.rules = {link_down};
+  Init(std::move(plan));
+
+  for (int i = 1; i <= 10; ++i) Commit(i);
+  clock_.AdvanceTo(FromMillis(900));
+  topology_->PumpUntilQuiet();
+  ASSERT_EQ(dbs_["Schaumburg"]->LastSeqno(), 10u);
+
+  // Mid-stream: these commits arrive while the link is dark.
+  for (int i = 11; i <= 20; ++i) Commit(i);
+  clock_.AdvanceTo(kSecond + FromMillis(500));
+  topology_->PumpUntilQuiet();
+
+  // The first failed pull re-parents Schaumburg onto Tokyo, exactly once,
+  // and the replicated stream continues through the backup feed.
+  const auto status = topology_->StatusOf("Schaumburg");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().feed, "Tokyo");
+  EXPECT_EQ(topology_->failovers(), 1u);
+  EXPECT_EQ(dbs_["Schaumburg"]->LastSeqno(), 20u);
+
+  clock_.AdvanceTo(3 * kSecond);
+  topology_->PumpUntilQuiet();
+  EXPECT_TRUE(topology_->Converged());
+  for (const char* node : {"Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
+    ExpectDenseLog(node, 20);
+  }
+  EXPECT_GE(faults_->injected_total(), 1u);
+}
+
+TEST_F(FaultedReplicationTest, InjectedGapHealsThroughDataLossResync) {
+  // One replicated record to Schaumburg vanishes in flight; the next apply
+  // observes the dense-seqno violation (kDataLoss) and the node re-reads
+  // the feed's log from its true applied position.
+  fault::FaultPlan plan;
+  fault::FaultRule gap;
+  gap.subsystem = "replication";
+  gap.site = "Schaumburg";
+  gap.operation = "gap";
+  gap.kind = fault::FaultKind::kError;
+  gap.error = ErrorCode::kDataLoss;
+  gap.max_fires = 1;
+  plan.rules = {gap};
+  Init(std::move(plan));
+
+  for (int i = 1; i <= 5; ++i) Commit(i);
+  clock_.AdvanceTo(kSecond);
+  topology_->PumpUntilQuiet();
+
+  EXPECT_GE(topology_->gaps(), 1u);
+  EXPECT_EQ(dbs_["Schaumburg"]->LastSeqno(), 5u);
+  for (const char* node : {"Tokyo", "Schaumburg", "Columbus", "Bethesda"}) {
+    ExpectDenseLog(node, 5);
+  }
+}
+
+TEST_F(FaultedReplicationTest, InjectedLagSpikeDelaysButDelivers) {
+  fault::FaultPlan plan;
+  fault::FaultRule spike;
+  spike.subsystem = "replication";
+  spike.site = "Tokyo";
+  spike.operation = "pull";
+  spike.kind = fault::FaultKind::kDelay;
+  spike.delay = FromMillis(500);
+  plan.rules = {spike};
+  Init(std::move(plan));
+
+  Commit(1);
+  // Normal link lag is 50 ms, but the spike holds the record back.
+  clock_.AdvanceTo(FromMillis(300));
+  topology_->Pump();
+  EXPECT_EQ(dbs_["Tokyo"]->LastSeqno(), 0u);
+
+  clock_.AdvanceTo(FromMillis(700));
+  topology_->PumpUntilQuiet();
+  EXPECT_EQ(dbs_["Tokyo"]->LastSeqno(), 1u);
+}
+
 }  // namespace
 }  // namespace nagano::replication
