@@ -1,0 +1,225 @@
+// RECOVERY — cold-start recovery time vs log length (ISSUE 4).
+//
+// The paper's availability story assumes a failed complex can come back
+// and rejoin serving quickly (§3: recovery re-synchronises the replica
+// database, then the cache repopulates). This bench measures the local
+// half of that path: rebuilding a database from its write-ahead log,
+// with and without a checkpoint image.
+//
+// Method: for each log length N, commit N upserts through a WAL-backed
+// database, drop every in-memory structure (the "crash"), reopen the WAL,
+// and time Database::Recover() on a cold process. The checkpointed
+// variant writes a checkpoint at 95% of the log, so recovery loads the
+// image and replays only the 5% tail — the knob an operator turns when
+// full-log replay gets too slow. Emits BENCH_recovery.json.
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "db/database.h"
+#include "wal/wal.h"
+
+using namespace nagano;
+
+namespace {
+
+struct RecoveryRun {
+  size_t commits = 0;
+  bool checkpointed = false;
+  uint64_t wal_bytes = 0;       // segments + checkpoint images on disk
+  uint64_t replayed = 0;        // records applied by Recover()
+  double populate_s = 0.0;      // time to write the log (context, not claim)
+  double recover_ms = 0.0;
+  double replay_per_s = 0.0;    // replayed records per second of recovery
+};
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/nagano_bench_recovery_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+std::unique_ptr<wal::WriteAheadLog> OpenWal(const std::string& dir,
+                                            metrics::MetricRegistry* registry) {
+  wal::WalOptions options;
+  options.dir = dir;
+  // Group commit: the bench measures replay speed, not fsync latency, and
+  // per-commit fsync would make populating the 50k-record log the slow part.
+  options.sync_policy = wal::SyncPolicy::kGroupCommit;
+  options.metrics.registry = registry;
+  auto log = wal::WriteAheadLog::Open(std::move(options));
+  if (!log.ok()) {
+    std::fprintf(stderr, "WAL open failed: %s\n",
+                 log.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(log).value();
+}
+
+// Populate, crash, recover. Returns false on any unexpected error.
+bool RunOne(size_t commits, bool checkpointed, RecoveryRun* out) {
+  const std::string dir = MakeTempDir();
+  if (dir.empty()) return false;
+  bool ok = false;
+  {
+    metrics::MetricRegistry registry;
+    auto log = OpenWal(dir, &registry);
+    if (log == nullptr) return false;
+
+    const auto populate_start = std::chrono::steady_clock::now();
+    {
+      db::DatabaseOptions options;
+      options.metrics.registry = &registry;
+      options.wal = log.get();
+      db::Database db(std::move(options));
+      if (!db.CreateTable("results", {{"id", db::ColumnType::kInt},
+                                      {"athlete", db::ColumnType::kString},
+                                      {"score", db::ColumnType::kDouble}})
+               .ok()) {
+        return false;
+      }
+      // Half the keyspace gets overwritten, so the checkpoint image is
+      // meaningfully smaller than the log it replaces — the usual shape of
+      // a scoring feed (results get corrected, standings get recomputed).
+      const size_t keyspace = commits / 2 + 1;
+      const size_t checkpoint_at = commits - commits / 20;  // 95%
+      for (size_t i = 1; i <= commits; ++i) {
+        if (!db.Upsert("results",
+                       {db::Value(int64_t(i % keyspace)),
+                        db::Value("athlete-" + std::to_string(i % keyspace)),
+                        db::Value(double(i) * 0.5)})
+                 .ok()) {
+          return false;
+        }
+        if (checkpointed && i == checkpoint_at && !db.Checkpoint().ok()) {
+          return false;
+        }
+      }
+    }
+    // The crash: db and WAL objects are gone; only the files survive.
+    log.reset();
+    const auto populate_end = std::chrono::steady_clock::now();
+
+    out->commits = commits;
+    out->checkpointed = checkpointed;
+    out->wal_bytes = DirBytes(dir);
+    out->populate_s =
+        std::chrono::duration<double>(populate_end - populate_start).count();
+
+    metrics::MetricRegistry recovery_registry;
+    auto reopened = OpenWal(dir, &recovery_registry);
+    if (reopened == nullptr) return false;
+    db::DatabaseOptions options;
+    options.metrics.registry = &recovery_registry;
+    options.wal = reopened.get();
+    db::Database recovered(std::move(options));
+    const auto start = std::chrono::steady_clock::now();
+    if (Status s = recovered.Recover(); !s.ok()) {
+      std::fprintf(stderr, "Recover failed: %s\n", s.ToString().c_str());
+      return false;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    out->recover_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    // Everything past the checkpoint image (or the whole log, +1 for the
+    // CreateTable record) was replayed record by record.
+    out->replayed = checkpointed
+                        ? recovered.LastSeqno() - (recovered.log_head_seqno() - 1)
+                        : recovered.LastSeqno() + 1;
+    out->replay_per_s = out->recover_ms > 0
+                            ? static_cast<double>(out->replayed) /
+                                  (out->recover_ms / 1000.0)
+                            : 0.0;
+    ok = recovered.LastSeqno() == commits;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("RECOVERY", "cold-start recovery time vs log length");
+
+  const std::vector<size_t> lengths = {1000, 5000, 20000, 50000};
+  std::vector<RecoveryRun> runs;
+  bench::Section("recovery time (wall clock, tmpfs-backed WAL)");
+  bench::Row("%8s  %-12s  %10s  %9s  %12s  %14s", "commits", "mode",
+             "wal bytes", "replayed", "recover ms", "replay rec/s");
+  for (const size_t n : lengths) {
+    for (const bool checkpointed : {false, true}) {
+      RecoveryRun run;
+      if (!RunOne(n, checkpointed, &run)) {
+        std::fprintf(stderr, "run (n=%zu ckpt=%d) failed\n", n,
+                     checkpointed ? 1 : 0);
+        return 1;
+      }
+      bench::Row("%8zu  %-12s  %10llu  %9llu  %12.2f  %14.0f", run.commits,
+                 run.checkpointed ? "checkpoint" : "log-only",
+                 static_cast<unsigned long long>(run.wal_bytes),
+                 static_cast<unsigned long long>(run.replayed), run.recover_ms,
+                 run.replay_per_s);
+      runs.push_back(run);
+    }
+  }
+
+  // The claim: checkpointing turns recovery from O(log) into O(image +
+  // tail). Compare the largest log's two modes, and sanity-check that
+  // log-only recovery scales roughly linearly in N.
+  const RecoveryRun& big_log = runs[runs.size() - 2];
+  const RecoveryRun& big_ckpt = runs[runs.size() - 1];
+  const RecoveryRun& small_log = runs[0];
+  const double speedup = big_ckpt.recover_ms > 0
+                             ? big_log.recover_ms / big_ckpt.recover_ms
+                             : 0.0;
+  const double scale = small_log.recover_ms > 0
+                           ? big_log.recover_ms / small_log.recover_ms
+                           : 0.0;
+  const double n_ratio = static_cast<double>(big_log.commits) /
+                         static_cast<double>(small_log.commits);
+
+  bench::Section("paper comparison");
+  bench::CompareText("restart rejoins within the 60 s bound",
+                     "yes", big_log.recover_ms < 60'000.0 ? "yes" : "no");
+  bench::Compare("checkpoint speedup at max log", n_ratio / 10.0, speedup,
+                 "x (image + 5% tail vs full replay)");
+  bench::Compare("log-only scaling vs N (linear ~ ratio)", n_ratio, scale,
+                 "x recover-ms growth over the N range");
+
+  std::ofstream json("BENCH_recovery.json");
+  json << "{\n  \"bench\": \"recovery_time\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RecoveryRun& r = runs[i];
+    json << "    {\"commits\": " << r.commits << ", \"checkpointed\": "
+         << (r.checkpointed ? "true" : "false")
+         << ", \"wal_bytes\": " << r.wal_bytes
+         << ", \"replayed\": " << r.replayed
+         << ", \"populate_s\": " << r.populate_s
+         << ", \"recover_ms\": " << r.recover_ms
+         << ", \"replay_per_s\": " << r.replay_per_s << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"checkpoint_speedup_at_max\": " << speedup << ",\n"
+       << "  \"log_only_scaling\": " << scale << "\n}\n";
+  json.close();
+  bench::Row("wrote BENCH_recovery.json");
+  return 0;
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI matrix driver: plain build + full suite, ASan/UBSan + full suite,
-# TSan + the `stress`-labelled concurrency suites, and the `chaos`
-# fault-injection drills (fixed seed + one randomized seed) under TSan.
+# TSan + the `stress`-labelled concurrency suites, the `chaos`
+# fault-injection drills (fixed seed + one randomized seed) under TSan,
+# and the `durability` WAL/recovery suites under ASan/UBSan.
 #
 #   ./ci.sh            # run the whole matrix
-#   ./ci.sh plain      # run a single leg: plain | asan | tsan | chaos
+#   ./ci.sh plain      # run a single leg: plain | asan | tsan | chaos | durability
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -51,6 +52,10 @@ leg_chaos() {
     ctest -V -L chaos )
   echo "=== [chaos] OK ==="
 }
+# Durability leg: the WAL crash-point property suites and the recovery
+# paths, under ASan/UBSan — heap misuse in the framing/replay code is
+# exactly what a torn-tail bug would look like. Shares the asan tree.
+leg_durability() { run_leg asan "address,undefined" "-L durability"; }
 
 case "${1:-all}" in
   plain) leg_plain ;;
@@ -58,7 +63,8 @@ case "${1:-all}" in
   asan)  leg_asan ;;
   tsan)  leg_tsan ;;
   chaos) leg_chaos ;;
-  all)   leg_plain; leg_asan; leg_tsan; leg_chaos ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|all]" >&2; exit 2 ;;
+  durability) leg_durability ;;
+  all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

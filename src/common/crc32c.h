@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum framing every WAL record and checkpoint image carries so replay
+// can distinguish a fully committed record from a torn tail. Software
+// table-driven implementation: no ISA dependence, and the WAL's record
+// sizes (hundreds of bytes) keep it far off any hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nagano {
+
+// CRC of `data` continued from `crc` (pass 0 to start a new checksum).
+// Extend(Extend(0, a), b) == Crc32c(a+b), so framed writes can checksum
+// header and payload without concatenating.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace nagano

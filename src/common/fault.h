@@ -14,6 +14,8 @@
 //
 //   subsystem      site                 operations
 //   "db"           metrics instance     "commit", "changes"
+//   "wal"          metrics instance     "append" (torn-tail crash),
+//                                       "fsync", "truncate"
 //   "replication"  child node name      "pull", "pull-from:<feed>", "gap"
 //   "fabric"       complex name         "complex", "frame:<i>",
 //                                       "dispatcher:<i>", "node:<f>.<n>"

@@ -21,18 +21,47 @@ ServingSite::ServingSite(SiteOptions options)
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : &RealClock::Instance()) {}
 
-Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
-  if (Status s = options.Validate(); !s.ok()) return s;
+namespace {
+
+db::DatabaseOptions DbOptionsFor(const SiteOptions& options) {
   db::DatabaseOptions db_options;
   db_options.clock = options.clock ? options.clock : &RealClock::Instance();
   db_options.faults = options.faults;
   db_options.metrics = options.metrics;
-  auto database = std::make_unique<db::Database>(std::move(db_options));
+  db_options.wal = options.wal;
+  db_options.change_log_retention = options.change_log_retention;
+  return db_options;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
+  if (Status s = options.Validate(); !s.ok()) return s;
+  auto database = std::make_unique<db::Database>(DbOptionsFor(options));
   if (Status s = pagegen::OlympicSite::Build(options.olympic, database.get());
       !s.ok()) {
     return s;
   }
   return CreateAround(std::move(options), std::move(database));
+}
+
+Result<std::unique_ptr<ServingSite>> ServingSite::WarmRestart(
+    SiteOptions options) {
+  if (options.wal == nullptr) {
+    return InvalidArgumentError("WarmRestart: SiteOptions.wal is required");
+  }
+  if (Status s = options.Validate(); !s.ok()) return s;
+  auto database = std::make_unique<db::Database>(DbOptionsFor(options));
+  if (Status s = database->Recover(); !s.ok()) return s;
+  auto site = CreateAround(std::move(options), std::move(database));
+  if (!site.ok()) return site;
+  // The recovered state is only as fresh as the WAL; the site stays
+  // not-ready until the caller raises the target to the live master's
+  // seqno, catches up through replication, and repopulates the cache.
+  site.value()->recovering_.store(true, std::memory_order_release);
+  site.value()->catch_up_target_.store(site.value()->db_->LastSeqno(),
+                                       std::memory_order_release);
+  return site;
 }
 
 Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
@@ -139,8 +168,33 @@ server::HealthReport ServingSite::Health() const {
   if (propagation.count() > 0 && propagation.Percentile(0.99) > 60'000.0) {
     report.problems.push_back("propagation p99 above the 60 s freshness bound");
   }
+  // A warm-restarted site is alive but not ready: it must not take traffic
+  // (or pass /healthz) until it has caught up to the fleet.
+  if (!CaughtUp()) {
+    report.problems.push_back(
+        "warm restart in progress: recovered seqno " +
+        std::to_string(db_->LastSeqno()) + " behind catch-up target " +
+        std::to_string(catch_up_target_.load(std::memory_order_acquire)));
+  }
   report.ok = report.problems.empty();
   return report;
+}
+
+void ServingSite::SetCatchUpTarget(uint64_t seqno) {
+  uint64_t prev = catch_up_target_.load(std::memory_order_relaxed);
+  while (prev < seqno && !catch_up_target_.compare_exchange_weak(
+                             prev, seqno, std::memory_order_release)) {
+  }
+}
+
+bool ServingSite::CaughtUp() const {
+  if (!recovering_.load(std::memory_order_acquire)) return true;
+  if (db_->LastSeqno() < catch_up_target_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (cache_->size() == 0) return false;  // not yet re-prefetched
+  recovering_.store(false, std::memory_order_release);
+  return true;
 }
 
 ServingSite::~ServingSite() {

@@ -44,6 +44,13 @@ struct SiteOptions : OptionsBase {
   // Fault injector threaded into every subsystem this site builds (db
   // commit/changes, cache lookup, trigger notify). Null = injection off.
   fault::FaultInjector* faults = nullptr;
+  // Durability: when set, the site's database write-ahead-logs every commit
+  // into it, and WarmRestart() can rebuild the site from it after a crash.
+  // Not owned; must outlive the site.
+  wal::WriteAheadLog* wal = nullptr;
+  // In-memory change-log retention after checkpoints (db::DatabaseOptions::
+  // change_log_retention; 0 = unbounded).
+  size_t change_log_retention = 0;
   // Keep invalidated cache entries reachable for degraded serving
   // (ObjectCache retain_stale); pairs with serve_stale_on_error below.
   bool retain_stale = false;
@@ -75,6 +82,15 @@ class ServingSite {
   // ones.
   static Result<std::unique_ptr<ServingSite>> CreateAround(
       SiteOptions options, std::unique_ptr<db::Database> database);
+
+  // The crash-recovery path (paper §3: a failed complex catches up from the
+  // database and rejoins serving). Requires options.wal: recovers a fresh
+  // database from the newest checkpoint plus the WAL tail, then assembles
+  // the pipeline around it. The site comes up in "recovering" state —
+  // Health() reports not-ready (gating /healthz) until the caller pulls the
+  // post-checkpoint delta through replication, repopulates the cache
+  // (PrefetchAll), and CaughtUp() turns true.
+  static Result<std::unique_ptr<ServingSite>> WarmRestart(SiteOptions options);
 
   ~ServingSite();
 
@@ -146,9 +162,22 @@ class ServingSite {
                                         int64_t athlete_id, double score);
 
   // Live /healthz verdict: trigger running, cache populated, trigger
-  // backlog bounded, and propagation p99 inside the paper's 60 s freshness
-  // bound. Wire into HttpFrontEnd::EnableAdmin.
+  // backlog bounded, propagation p99 inside the paper's 60 s freshness
+  // bound, and — after a WarmRestart — post-restart catch-up complete.
+  // Wire into HttpFrontEnd::EnableAdmin.
   server::HealthReport Health() const;
+
+  // --- warm-restart catch-up -----------------------------------------------
+  // Raises the seqno this recovered site must reach (typically the master's
+  // LastSeqno at rejoin time) before it reports ready.
+  void SetCatchUpTarget(uint64_t seqno);
+  // True once the recovered database has applied the catch-up target and
+  // the cache is repopulated; latches (a site that caught up stays caught
+  // up). Sites that never went through WarmRestart are always caught up.
+  bool CaughtUp() const;
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
 
   // --- components -----------------------------------------------------------------
   db::Database& db() { return *db_; }
@@ -167,6 +196,10 @@ class ServingSite {
   explicit ServingSite(SiteOptions options);
 
   std::atomic<uint64_t> last_quiesced_seqno_{0};
+  // Warm-restart state: CaughtUp() clears recovering_ once the target is
+  // reached, so the const Health() path can latch it.
+  mutable std::atomic<bool> recovering_{false};
+  std::atomic<uint64_t> catch_up_target_{0};
   SiteOptions options_;
   const Clock* clock_;
   metrics::MetricRegistry* registry_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 
 namespace nagano::db {
@@ -31,12 +32,159 @@ bool TypeMatches(const Value& v, ColumnType type) {
 
 Database::Database(DatabaseOptions options)
     : clock_(options.clock ? options.clock : &RealClock::Instance()),
-      faults_(options.faults) {
+      faults_(options.faults),
+      wal_(options.wal),
+      retention_(options.change_log_retention) {
   ValidateOrDie(options, "DatabaseOptions");
   const auto scope = metrics::Scope::Resolve(options.metrics, "db");
   instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   commits_ = scope.GetCounter("nagano_db_commits_total",
                               "mutations appended to the change log");
+  recovered_records_ =
+      scope.GetCounter("nagano_db_recovered_records_total",
+                       "change records replayed from the WAL by Recover()");
+  recovery_ms_ = scope.GetHistogram("nagano_db_recovery_duration_ms",
+                                    "wall time spent rebuilding state in "
+                                    "Recover() (checkpoint load + replay)");
+}
+
+// --- WAL payload codec ------------------------------------------------------
+
+namespace {
+
+void EncodeValue(wal::Encoder& e, const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    e.PutU8(0);
+    e.PutI64(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    e.PutU8(1);
+    e.PutDouble(*d);
+  } else {
+    e.PutU8(2);
+    e.PutString(std::get<std::string>(v));
+  }
+}
+
+bool DecodeValue(wal::Decoder& d, Value* out) {
+  switch (d.GetU8()) {
+    case 0: *out = d.GetI64(); break;
+    case 1: *out = d.GetDouble(); break;
+    case 2: *out = d.GetString(); break;
+    default: return false;
+  }
+  return d.ok();
+}
+
+void EncodeRow(wal::Encoder& e, const Row& row) {
+  e.PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) EncodeValue(e, v);
+}
+
+bool DecodeRow(wal::Decoder& d, Row* out) {
+  const uint32_t arity = d.GetU32();
+  if (!d.ok() || arity > 4096) return false;
+  out->clear();
+  out->reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!DecodeValue(d, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeWalChange(const ChangeRecord& change) {
+  wal::Encoder e;
+  e.PutU8(static_cast<uint8_t>(WalRecordKind::kChange));
+  e.PutU64(change.seqno);
+  e.PutString(change.table);
+  e.PutString(change.key);
+  e.PutU8(static_cast<uint8_t>(change.op));
+  e.PutI64(change.committed_at);
+  EncodeRow(e, change.row);
+  return e.Take();
+}
+
+std::string EncodeWalCreateTable(std::string_view table,
+                                 const std::vector<ColumnSpec>& columns,
+                                 size_t key_column) {
+  wal::Encoder e;
+  e.PutU8(static_cast<uint8_t>(WalRecordKind::kCreateTable));
+  e.PutString(table);
+  e.PutU32(static_cast<uint32_t>(key_column));
+  e.PutU32(static_cast<uint32_t>(columns.size()));
+  for (const ColumnSpec& col : columns) {
+    e.PutString(col.name);
+    e.PutU8(static_cast<uint8_t>(col.type));
+  }
+  return e.Take();
+}
+
+std::string EncodeWalCreateIndex(std::string_view table,
+                                 std::string_view column) {
+  wal::Encoder e;
+  e.PutU8(static_cast<uint8_t>(WalRecordKind::kCreateIndex));
+  e.PutString(table);
+  e.PutString(column);
+  return e.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  wal::Decoder d(payload);
+  WalRecord rec;
+  const uint8_t kind = d.GetU8();
+  switch (kind) {
+    case static_cast<uint8_t>(WalRecordKind::kChange): {
+      rec.kind = WalRecordKind::kChange;
+      rec.change.seqno = d.GetU64();
+      rec.change.table = d.GetString();
+      rec.change.key = d.GetString();
+      const uint8_t op = d.GetU8();
+      if (op > static_cast<uint8_t>(ChangeOp::kDelete)) {
+        return DataLossError("DecodeWalRecord: bad change op");
+      }
+      rec.change.op = static_cast<ChangeOp>(op);
+      rec.change.committed_at = d.GetI64();
+      if (!DecodeRow(d, &rec.change.row)) {
+        return DataLossError("DecodeWalRecord: bad change row");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordKind::kCreateTable): {
+      rec.kind = WalRecordKind::kCreateTable;
+      rec.table = d.GetString();
+      rec.key_column = d.GetU32();
+      const uint32_t ncols = d.GetU32();
+      if (!d.ok() || ncols == 0 || ncols > 4096 || rec.key_column >= ncols) {
+        return DataLossError("DecodeWalRecord: bad table schema");
+      }
+      for (uint32_t i = 0; i < ncols; ++i) {
+        ColumnSpec col;
+        col.name = d.GetString();
+        const uint8_t type = d.GetU8();
+        if (type > static_cast<uint8_t>(ColumnType::kString)) {
+          return DataLossError("DecodeWalRecord: bad column type");
+        }
+        col.type = static_cast<ColumnType>(type);
+        rec.columns.push_back(std::move(col));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordKind::kCreateIndex): {
+      rec.kind = WalRecordKind::kCreateIndex;
+      rec.table = d.GetString();
+      rec.column = d.GetString();
+      break;
+    }
+    default:
+      return DataLossError("DecodeWalRecord: unknown record kind");
+  }
+  if (!d.AtEnd()) {
+    return DataLossError("DecodeWalRecord: malformed payload");
+  }
+  return rec;
 }
 
 Status Database::CreateTable(std::string_view table,
@@ -49,10 +197,18 @@ Status Database::CreateTable(std::string_view table,
     return InvalidArgumentError("CreateTable: key column out of range");
   }
   std::unique_lock lock(mutex_);
-  auto [it, inserted] = tables_.try_emplace(std::string(table));
-  if (!inserted) {
+  if (tables_.contains(std::string(table))) {
     return AlreadyExistsError("CreateTable: table exists: " + std::string(table));
   }
+  // Schema changes are WAL-logged like data changes (carrying the current
+  // seqno watermark), so Recover() rebuilds tables in creation order.
+  if (Status s = WalAppendLocked(
+          next_seqno_ - 1, EncodeWalCreateTable(table, columns, key_column));
+      !s.ok()) {
+    return s;
+  }
+  auto [it, inserted] = tables_.try_emplace(std::string(table));
+  assert(inserted);
   it->second.columns = std::move(columns);
   it->second.key_column = key_column;
   return Status::Ok();
@@ -132,6 +288,32 @@ void Database::IndexRowLocked(TableData& t, const std::string& pk,
   }
 }
 
+Status Database::WalAppendLocked(uint64_t seqno, const std::string& payload) {
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Append(seqno, payload);
+}
+
+void Database::ApplyChangeLocked(TableData& t, const ChangeRecord& change) {
+  switch (change.op) {
+    case ChangeOp::kInsert:
+    case ChangeOp::kUpdate: {
+      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
+        UnindexRowLocked(t, change.key, old->second);
+      }
+      auto [row_it, _] = t.rows.insert_or_assign(change.key, change.row);
+      IndexRowLocked(t, change.key, row_it->second);
+      break;
+    }
+    case ChangeOp::kDelete: {
+      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
+        UnindexRowLocked(t, change.key, old->second);
+        t.rows.erase(old);
+      }
+      break;
+    }
+  }
+}
+
 Status Database::Upsert(std::string_view table, Row row) {
   // Decide the commit fate before taking the lock; an injected error fails
   // the mutation cleanly, an injected delay stalls the commit timestamp.
@@ -148,16 +330,20 @@ Status Database::Upsert(std::string_view table, Row row) {
   ChangeRecord change;
   change.table = std::string(table);
   change.key = KeyString(row[t.key_column]);
-  change.row = row;
+  change.row = std::move(row);
   change.committed_at = clock_->Now() + fate.delay;
-  change.seqno = next_seqno_++;
+  change.seqno = next_seqno_;
+  change.op =
+      t.rows.contains(change.key) ? ChangeOp::kUpdate : ChangeOp::kInsert;
 
-  if (auto old = t.rows.find(change.key); old != t.rows.end()) {
-    UnindexRowLocked(t, change.key, old->second);
+  // Write-ahead: the record must be durable before the mutation becomes
+  // visible. A failed append fails the commit without consuming the seqno.
+  if (Status s = WalAppendLocked(change.seqno, EncodeWalChange(change));
+      !s.ok()) {
+    return s;
   }
-  auto [row_it, inserted] = t.rows.insert_or_assign(change.key, std::move(row));
-  IndexRowLocked(t, change.key, row_it->second);
-  change.op = inserted ? ChangeOp::kInsert : ChangeOp::kUpdate;
+  next_seqno_ = change.seqno + 1;
+  ApplyChangeLocked(t, change);
   CommitLocked(std::move(change), lock);
   return Status::Ok();
 }
@@ -176,14 +362,18 @@ Status Database::Delete(std::string_view table, const Value& key) {
   if (row_it == t.rows.end()) {
     return NotFoundError("Delete: no row " + k);
   }
-  UnindexRowLocked(t, k, row_it->second);
-  t.rows.erase(row_it);
   ChangeRecord change;
   change.table = std::string(table);
   change.key = k;
   change.op = ChangeOp::kDelete;
   change.committed_at = clock_->Now() + fate.delay;
-  change.seqno = next_seqno_++;
+  change.seqno = next_seqno_;
+  if (Status s = WalAppendLocked(change.seqno, EncodeWalChange(change));
+      !s.ok()) {
+    return s;
+  }
+  next_seqno_ = change.seqno + 1;
+  ApplyChangeLocked(t, change);
   CommitLocked(std::move(change), lock);
   return Status::Ok();
 }
@@ -200,26 +390,15 @@ Status Database::ApplyReplicated(const ChangeRecord& change) {
                          std::to_string(next_seqno_) + ", got " +
                          std::to_string(change.seqno));
   }
-  switch (change.op) {
-    case ChangeOp::kInsert:
-    case ChangeOp::kUpdate: {
-      if (Status s = ValidateRowLocked(t, change.row); !s.ok()) return s;
-      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
-        UnindexRowLocked(t, change.key, old->second);
-      }
-      auto [row_it, _] = t.rows.insert_or_assign(change.key, change.row);
-      IndexRowLocked(t, change.key, row_it->second);
-      break;
-    }
-    case ChangeOp::kDelete: {
-      if (auto old = t.rows.find(change.key); old != t.rows.end()) {
-        UnindexRowLocked(t, change.key, old->second);
-        t.rows.erase(old);
-      }
-      break;
-    }
+  if (change.op != ChangeOp::kDelete) {
+    if (Status s = ValidateRowLocked(t, change.row); !s.ok()) return s;
+  }
+  if (Status s = WalAppendLocked(change.seqno, EncodeWalChange(change));
+      !s.ok()) {
+    return s;
   }
   next_seqno_ = change.seqno + 1;
+  ApplyChangeLocked(t, change);
   CommitLocked(change, lock);
   return Status::Ok();
 }
@@ -271,8 +450,14 @@ Status Database::CreateIndex(std::string_view table, std::string_view column) {
   if (column_index == t.columns.size()) {
     return NotFoundError("CreateIndex: no column " + std::string(column));
   }
+  if (t.indexes.contains(column_index)) return Status::Ok();  // idempotent
+  if (Status s = WalAppendLocked(next_seqno_ - 1,
+                                 EncodeWalCreateIndex(table, column));
+      !s.ok()) {
+    return s;
+  }
   auto [index_it, created] = t.indexes.try_emplace(column_index);
-  if (!created) return Status::Ok();  // idempotent
+  assert(created);
   for (const auto& [pk, row] : t.rows) {
     index_it->second.emplace(KeyString(row[column_index]), pk);
   }
@@ -342,6 +527,212 @@ uint64_t Database::LastSeqno() const {
   return next_seqno_ - 1;
 }
 
+uint64_t Database::log_head_seqno() const {
+  std::shared_lock lock(mutex_);
+  return log_head_;
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("Checkpoint: no WAL attached");
+  }
+  std::unique_lock lock(mutex_);
+  const uint64_t seqno = next_seqno_ - 1;
+
+  wal::Encoder image;
+  image.PutU8(1);  // image format version
+  image.PutU64(seqno);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  image.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const TableData& t = tables_.at(name);
+    image.PutString(name);
+    image.PutU32(static_cast<uint32_t>(t.key_column));
+    image.PutU32(static_cast<uint32_t>(t.columns.size()));
+    for (const ColumnSpec& col : t.columns) {
+      image.PutString(col.name);
+      image.PutU8(static_cast<uint8_t>(col.type));
+    }
+    image.PutU32(static_cast<uint32_t>(t.indexes.size()));
+    for (const auto& [column_index, _] : t.indexes) {
+      image.PutU32(static_cast<uint32_t>(column_index));
+    }
+    image.PutU32(static_cast<uint32_t>(t.rows.size()));
+    for (const auto& [_, row] : t.rows) EncodeRow(image, row);
+  }
+
+  if (Status s = wal_->WriteCheckpoint(seqno, image.str()); !s.ok()) return s;
+
+  // The checkpoint now covers everything up to `seqno`: WAL segments whose
+  // records are all covered can be retired, and the in-memory change log can
+  // shrink to the retention bound — replicas further behind than the
+  // retained head go through resync instead of the log.
+  if (retention_ > 0 && seqno + 1 > retention_) {
+    const uint64_t new_head = seqno + 1 - retention_;
+    if (new_head > log_head_) {
+      auto it = std::lower_bound(
+          log_.begin(), log_.end(), new_head,
+          [](const ChangeRecord& r, uint64_t s) { return r.seqno < s; });
+      log_.erase(log_.begin(), it);
+      log_head_ = new_head;
+    }
+  }
+  if (auto trimmed = wal_->TruncateThrough(seqno); !trimmed.ok()) {
+    return trimmed.status();
+  }
+  return Status::Ok();
+}
+
+Status Database::Recover() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("Recover: no WAL attached");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock lock(mutex_);
+  if (!tables_.empty() || !log_.empty() || next_seqno_ != 1) {
+    return FailedPreconditionError("Recover: database is not empty");
+  }
+
+  uint64_t after_lsn = 0;
+  auto ckpt = wal_->ReadLatestCheckpoint();
+  if (ckpt.ok()) {
+    wal::Decoder d(ckpt.value().image);
+    if (d.GetU8() != 1) {
+      return DataLossError("Recover: unknown checkpoint image version");
+    }
+    const uint64_t image_seqno = d.GetU64();
+    const uint32_t ntables = d.GetU32();
+    if (!d.ok() || image_seqno != ckpt.value().seqno) {
+      return DataLossError("Recover: checkpoint image header mismatch");
+    }
+    for (uint32_t ti = 0; ti < ntables; ++ti) {
+      const std::string name = d.GetString();
+      TableData t;
+      t.key_column = d.GetU32();
+      const uint32_t ncols = d.GetU32();
+      if (!d.ok() || ncols == 0 || ncols > 4096 || t.key_column >= ncols) {
+        return DataLossError("Recover: bad schema in checkpoint image");
+      }
+      for (uint32_t ci = 0; ci < ncols; ++ci) {
+        ColumnSpec col;
+        col.name = d.GetString();
+        const uint8_t type = d.GetU8();
+        if (type > static_cast<uint8_t>(ColumnType::kString)) {
+          return DataLossError("Recover: bad column type in checkpoint image");
+        }
+        col.type = static_cast<ColumnType>(type);
+        t.columns.push_back(std::move(col));
+      }
+      const uint32_t nindexes = d.GetU32();
+      if (!d.ok() || nindexes > ncols) {
+        return DataLossError("Recover: bad index list in checkpoint image");
+      }
+      for (uint32_t ii = 0; ii < nindexes; ++ii) {
+        const uint32_t column_index = d.GetU32();
+        if (column_index >= ncols) {
+          return DataLossError("Recover: bad index column in checkpoint image");
+        }
+        t.indexes.try_emplace(column_index);
+      }
+      const uint32_t nrows = d.GetU32();
+      for (uint32_t ri = 0; d.ok() && ri < nrows; ++ri) {
+        Row row;
+        if (!DecodeRow(d, &row) || row.size() != ncols) {
+          return DataLossError("Recover: bad row in checkpoint image");
+        }
+        const std::string pk = KeyString(row[t.key_column]);
+        auto [row_it, _] = t.rows.insert_or_assign(pk, std::move(row));
+        IndexRowLocked(t, pk, row_it->second);
+      }
+      if (!d.ok()) {
+        return DataLossError("Recover: truncated checkpoint image");
+      }
+      tables_.insert_or_assign(name, std::move(t));
+    }
+    if (!d.AtEnd()) {
+      return DataLossError("Recover: trailing bytes in checkpoint image");
+    }
+    next_seqno_ = ckpt.value().seqno + 1;
+    log_head_ = next_seqno_;
+    after_lsn = ckpt.value().lsn;
+  } else if (ckpt.status().code() != ErrorCode::kNotFound) {
+    return ckpt.status();
+  }
+
+  uint64_t applied = 0;
+  Status replay = wal_->Replay(
+      after_lsn,
+      [&](uint64_t, uint64_t, std::string_view payload) -> Status {
+        auto rec_or = DecodeWalRecord(payload);
+        if (!rec_or.ok()) return rec_or.status();
+        WalRecord& rec = rec_or.value();
+        switch (rec.kind) {
+          case WalRecordKind::kCreateTable: {
+            auto [it, inserted] = tables_.try_emplace(rec.table);
+            if (!inserted) break;  // already in the checkpoint image
+            it->second.columns = std::move(rec.columns);
+            it->second.key_column = rec.key_column;
+            break;
+          }
+          case WalRecordKind::kCreateIndex: {
+            auto it = tables_.find(rec.table);
+            if (it == tables_.end()) {
+              return DataLossError("Recover: index on unknown table " +
+                                   rec.table);
+            }
+            TableData& t = it->second;
+            size_t column_index = t.columns.size();
+            for (size_t i = 0; i < t.columns.size(); ++i) {
+              if (t.columns[i].name == rec.column) {
+                column_index = i;
+                break;
+              }
+            }
+            if (column_index == t.columns.size()) {
+              return DataLossError("Recover: index on unknown column " +
+                                   rec.column);
+            }
+            auto [index_it, created] = t.indexes.try_emplace(column_index);
+            if (created) {
+              for (const auto& [pk, row] : t.rows) {
+                index_it->second.emplace(KeyString(row[column_index]), pk);
+              }
+            }
+            break;
+          }
+          case WalRecordKind::kChange: {
+            if (rec.change.seqno != next_seqno_) {
+              return DataLossError(
+                  "Recover: WAL expected seqno " + std::to_string(next_seqno_) +
+                  ", got " + std::to_string(rec.change.seqno));
+            }
+            auto it = tables_.find(rec.change.table);
+            if (it == tables_.end()) {
+              return DataLossError("Recover: change for unknown table " +
+                                   rec.change.table);
+            }
+            ApplyChangeLocked(it->second, rec.change);
+            next_seqno_ = rec.change.seqno + 1;
+            log_.push_back(std::move(rec.change));
+            ++applied;
+            break;
+          }
+        }
+        return Status::Ok();
+      });
+  if (!replay.ok()) return replay;
+
+  recovered_records_->Increment(applied);
+  recovery_ms_->Observe(
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count());
+  return Status::Ok();
+}
+
 std::vector<ChangeRecord> Database::ChangesSince(uint64_t after,
                                                  size_t limit) const {
   std::shared_lock lock(mutex_);
@@ -359,6 +750,16 @@ Result<std::vector<ChangeRecord>> Database::ReadChanges(uint64_t after,
                                                         size_t limit) const {
   if (Status s = fault::Check(faults_, "db", instance_, "changes"); !s.ok()) {
     return s;
+  }
+  {
+    std::shared_lock lock(mutex_);
+    if (after + 1 < log_head_) {
+      // The requested records were truncated after a checkpoint; the caller
+      // is too far behind to be served from the log and must resync.
+      return DataLossError("ReadChanges: seqnos through " +
+                           std::to_string(log_head_ - 1) +
+                           " truncated after checkpoint; resync required");
+    }
   }
   return ChangesSince(after, limit);
 }

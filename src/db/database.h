@@ -33,6 +33,7 @@
 #include "common/metrics.h"
 #include "common/options.h"
 #include "common/result.h"
+#include "wal/wal.h"
 
 namespace nagano::db {
 
@@ -74,9 +75,46 @@ struct DatabaseOptions : OptionsBase {
   // ({"db", <instance>, "changes"}). Null = injection off.
   fault::FaultInjector* faults = nullptr;
   metrics::Options metrics;
+  // When set, every commit (schema and data) is appended to the WAL before
+  // it becomes visible, Checkpoint() snapshots the tables into it, and
+  // Recover() rebuilds an empty database from it. Not owned.
+  wal::WriteAheadLog* wal = nullptr;
+  // Upper bound on in-memory change-log records retained after a
+  // Checkpoint() (0 = unbounded, the pre-WAL behaviour). ReadChanges()
+  // before the retained head returns kDataLoss — the gap status that sends
+  // replication consumers through resync.
+  size_t change_log_retention = 0;
 
   Status Validate() const { return Status::Ok(); }
 };
+
+// --- WAL payload codec ---
+// Every WAL payload starts with a kind tag so replay can rebuild schema and
+// content in commit order (schema records carry the seqno watermark of the
+// last data change; data records carry their own seqno).
+enum class WalRecordKind : uint8_t {
+  kChange = 1,
+  kCreateTable = 2,
+  kCreateIndex = 3,
+};
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kChange;
+  ChangeRecord change;             // kChange
+  std::string table;               // kCreateTable / kCreateIndex
+  std::vector<ColumnSpec> columns; // kCreateTable
+  size_t key_column = 0;           // kCreateTable
+  std::string column;              // kCreateIndex
+};
+
+std::string EncodeWalChange(const ChangeRecord& change);
+std::string EncodeWalCreateTable(std::string_view table,
+                                 const std::vector<ColumnSpec>& columns,
+                                 size_t key_column);
+std::string EncodeWalCreateIndex(std::string_view table,
+                                 std::string_view column);
+// kDataLoss on a malformed payload.
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
 
 class Database {
  public:
@@ -127,14 +165,34 @@ class Database {
                           const Value& value) const;
   size_t RowCount(std::string_view table) const;
 
+  // --- durability (requires options.wal) ---
+  // Writes a checkpoint image (full tables + last applied seqno) to the WAL,
+  // retires WAL segments fully covered by it, and — when
+  // change_log_retention is set — truncates the in-memory change log to the
+  // newest `retention` records.
+  Status Checkpoint();
+  // Rebuilds an empty database (no tables, no commits) from the newest
+  // checkpoint plus the WAL tail. Original seqnos are preserved: LastSeqno()
+  // afterwards equals the last durably committed seqno, and new commits
+  // continue densely from it. Listeners do not fire during recovery.
+  Status Recover();
+
   // --- change feed ---
   uint64_t LastSeqno() const;
-  // Records with seqno > after, up to limit, in order.
+  // Seqno of the oldest record still held in the in-memory change log
+  // (records below it were truncated after a checkpoint). 1 until a
+  // retention-bounded checkpoint or a checkpoint-based recovery moves it.
+  uint64_t log_head_seqno() const;
+  // Records with seqno > after, up to limit, in order. Requests from before
+  // the retained head simply yield the retained suffix; use ReadChanges()
+  // to observe the gap as an error.
   std::vector<ChangeRecord> ChangesSince(uint64_t after,
                                          size_t limit = SIZE_MAX) const;
   // Fallible change-log read: ChangesSince through the fault plan's
   // {"db", <instance>, "changes"} point, so consumers (the replication
-  // shipper) see kUnavailable when the log read itself fails.
+  // shipper) see kUnavailable when the log read itself fails — and
+  // kDataLoss when `after` precedes the retained head, the same gap status
+  // a dense-seqno violation raises, driving the consumer through resync.
   Result<std::vector<ChangeRecord>> ReadChanges(uint64_t after,
                                                 size_t limit = SIZE_MAX) const;
 
@@ -154,6 +212,13 @@ class Database {
 
   Status ValidateRowLocked(const TableData& t, const Row& row) const;
   void CommitLocked(ChangeRecord change, std::unique_lock<std::shared_mutex>& lock);
+  // Appends one encoded record to the WAL (no-op without one). Called with
+  // the write lock held, *before* the mutation is applied — a failed append
+  // fails the commit without consuming a seqno.
+  Status WalAppendLocked(uint64_t seqno, const std::string& payload);
+  // Applies a validated change to the table (rows + indexes); callers hold
+  // the write lock and have already resolved the table.
+  static void ApplyChangeLocked(TableData& t, const ChangeRecord& change);
   // Index maintenance around a row mutation; callers hold the write lock.
   static void UnindexRowLocked(TableData& t, const std::string& pk,
                                const Row& row);
@@ -162,15 +227,20 @@ class Database {
 
   const Clock* clock_;
   fault::FaultInjector* faults_;
+  wal::WriteAheadLog* wal_;
+  const size_t retention_;
   std::string instance_;  // fault-injection site name (== metrics label)
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, TableData> tables_;
   std::vector<ChangeRecord> log_;
   uint64_t next_seqno_ = 1;
+  uint64_t log_head_ = 1;  // seqno of log_.front() (when non-empty)
   std::map<uint64_t, Listener> listeners_;
   uint64_t next_listener_id_ = 1;
   // Committed mutations (inserts/updates/deletes plus replicated applies).
   metrics::Counter* commits_;
+  metrics::Counter* recovered_records_;
+  metrics::Histogram* recovery_ms_;
 };
 
 }  // namespace nagano::db

@@ -28,6 +28,19 @@ Status ReplicationTopology::AddNode(std::string name, db::Database* database) {
   return Status::Ok();
 }
 
+Status ReplicationTopology::ReattachNode(std::string_view name,
+                                         db::Database* database) {
+  if (database == nullptr) {
+    return InvalidArgumentError("ReattachNode: null database");
+  }
+  Node* n = FindNode(name);
+  if (n == nullptr) {
+    return NotFoundError("ReattachNode: no node " + std::string(name));
+  }
+  n->database = database;
+  return Status::Ok();
+}
+
 ReplicationTopology::Node* ReplicationTopology::FindNode(std::string_view name) {
   auto it = nodes_.find(name);
   return it == nodes_.end() ? nullptr : &it->second;
@@ -121,6 +134,10 @@ size_t ReplicationTopology::PumpNode(Node& node) {
   auto changes = feed->database->ReadChanges(local, 256);
   if (!changes.ok()) {
     // The feed's change log itself is unreadable this round; retry later.
+    // A kDataLoss answer means the feed truncated past our position after a
+    // checkpoint — count it as a gap; recovery is catching up out of band
+    // (warm restart) before pulling again.
+    if (changes.status().code() == ErrorCode::kDataLoss) gaps_->Increment();
     stalls_->Increment();
     return 0;
   }

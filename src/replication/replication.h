@@ -67,6 +67,12 @@ class ReplicationTopology {
   // replica starts from the same empty schema; the log replays content).
   Status AddNode(std::string name, db::Database* database);
 
+  // Re-binds an existing node to a new Database object — the warm-restart
+  // path: a crashed site recovers a fresh Database from its WAL and rejoins
+  // under its old name, keeping its feed, failover feed, and lag. The next
+  // pull starts after the recovered database's own LastSeqno().
+  Status ReattachNode(std::string_view name, db::Database* database);
+
   // child pulls from parent with the given one-way lag. Re-invoking
   // re-parents the child (its next pull starts after its own last applied
   // seqno, so no records are lost or duplicated).

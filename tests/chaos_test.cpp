@@ -20,6 +20,13 @@
 // last-known-good pages + deadline-bounded retries), trigger notification
 // loss and duplication, database change-log faults, and the real HTTP
 // server's socket faults and slow-loris defense.
+//
+// The crash-recovery drill (ISSUE 4) kills a WAL-backed replica site
+// mid-commit — the injected `wal append` fault leaves a genuinely torn
+// frame on disk — then warm-restarts it from checkpoint + WAL tail,
+// catches it up through replication, and asserts the recovered site
+// serves byte-identical pages to an uncrashed same-seed control run,
+// with availability and the 60 s rejoin bound holding throughout.
 
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
@@ -32,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <memory>
@@ -53,6 +61,7 @@
 #include "replication/replication.h"
 #include "server/serving.h"
 #include "trigger/trigger_monitor.h"
+#include "wal/wal.h"
 #include "workload/feed.h"
 #include "workload/sampler.h"
 
@@ -946,6 +955,423 @@ TEST(ChaosHttpTest, SlowLorisConnectionIsReaped) {
   ASSERT_TRUE(ok.ok()) << ok.status().message();
   EXPECT_EQ(ok.value().body, "hi");
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery drill: torn WAL tail -> warm restart -> rejoin (ISSUE 4)
+// ---------------------------------------------------------------------------
+
+std::string MakeWalTempDir() {
+  char tmpl[] = "/tmp/nagano-chaos-wal-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+struct RestartDrillRun {
+  std::string transcript;     // replay artifact (never mentions the WAL dir)
+  std::string fingerprints;   // final page bytes per site, the identity check
+  double availability = 0.0;
+  uint64_t requests = 0;
+  bool crashed = false;
+  bool rejoined = false;
+  bool converged = false;
+  uint64_t torn_tails = 0;        // observed by the WAL reopen scan
+  uint64_t recovered_seqno = 0;   // LastSeqno straight out of Recover()
+  uint64_t catch_up_target = 0;   // master seqno the rejoin had to reach
+  TimeNs rejoin_latency = 0;      // WAL reopen -> back in the serve ring
+  size_t cache_objects_verified = 0;
+};
+
+// One drill run. With crash=true, a single scripted `wal append` fault
+// tears Tokyo's WAL tail mid-ApplyReplicated inside the [30s, 40s) window;
+// the drill then kills the site (MarkDown + destroy, the WAL file keeps
+// the torn frame), reopens the WAL fifteen ticks later, warm-restarts the
+// site from checkpoint + tail, pulls the delta through replication, and
+// re-adds it to the serve ring once CaughtUp() and Health() agree it is
+// ready. With crash=false the same seed runs undisturbed — the control
+// whose final page bytes the crashed run must match.
+RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
+                                uint64_t workload_seed) {
+  constexpr int kDurationS = 90;
+  constexpr int kRequestsPerTick = 8;
+  constexpr int kCheckpointTick = 20;  // pre-crash: recovery = ckpt + tail
+  constexpr int kRestartDelayTicks = 15;
+
+  RestartDrillRun run;
+  char line[512];
+
+  SimClock clock;
+  metrics::MetricRegistry registry;
+  fault::FaultPlan plan;
+  plan.seed = 19980213;  // the men's super-G, delayed four times by weather
+  if (crash) {
+    fault::FaultRule tear;
+    tear.subsystem = "wal";
+    tear.site = "Tokyo-wal";
+    tear.operation = "append";
+    tear.kind = fault::FaultKind::kError;
+    tear.error = ErrorCode::kUnavailable;
+    tear.message = "power cut mid-append";
+    // Open-ended window + max_fires=1: the first replicated append Tokyo
+    // attempts after t=30s is the one that tears, whenever the feed
+    // schedule happens to produce it.
+    tear.from = static_cast<TimeNs>(30 * kSecond);
+    tear.max_fires = 1;
+    plan.rules.push_back(tear);
+  }
+  fault::FaultInjector faults(std::move(plan), &clock);
+
+  pagegen::OlympicConfig content;
+  content.num_sports = 2;
+  content.events_per_sport = 2;
+  content.languages = {"en"};
+
+  db::DatabaseOptions master_options;
+  master_options.clock = &clock;
+  master_options.metrics.registry = &registry;
+  master_options.metrics.instance = "master";
+  auto master = std::make_unique<db::Database>(std::move(master_options));
+  if (!pagegen::OlympicSite::Build(content, master.get()).ok()) {
+    ADD_FAILURE() << "OlympicSite::Build failed";
+    return run;
+  }
+
+  replication::ReplicationOptions topo_options;
+  topo_options.clock = &clock;
+  topo_options.faults = &faults;
+  topo_options.metrics.registry = &registry;
+  topo_options.metrics.instance = "repl";
+  replication::ReplicationTopology topology(std::move(topo_options));
+  EXPECT_TRUE(topology.AddNode("Nagano", master.get()).ok());
+
+  auto open_wal = [&]() -> std::unique_ptr<wal::WriteAheadLog> {
+    wal::WalOptions wal_options;
+    wal_options.dir = wal_dir;
+    wal_options.clock = &clock;
+    wal_options.faults = &faults;
+    wal_options.metrics.registry = &registry;
+    wal_options.metrics.instance = "Tokyo-wal";
+    auto wal_or = wal::WriteAheadLog::Open(std::move(wal_options));
+    EXPECT_TRUE(wal_or.ok()) << wal_or.status().message();
+    return wal_or.ok() ? std::move(wal_or.value()) : nullptr;
+  };
+
+  auto tokyo_site_options = [&]() {
+    core::SiteOptions site_options;
+    site_options.olympic = content;
+    site_options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+    site_options.trigger.worker_threads = 1;
+    site_options.clock = &clock;
+    site_options.faults = &faults;
+    site_options.retain_stale = true;
+    site_options.metrics.registry = &registry;
+    site_options.metrics.instance = "Tokyo";
+    return site_options;
+  };
+
+  // Tokyo: the durable replica under test. Its database write-ahead-logs
+  // every replicated commit into `wal_dir`.
+  std::unique_ptr<wal::WriteAheadLog> wal = open_wal();
+  if (wal == nullptr) return run;
+  std::map<std::string, std::unique_ptr<core::ServingSite>> sites;
+  {
+    db::DatabaseOptions replica_options;
+    replica_options.clock = &clock;
+    replica_options.metrics.registry = &registry;
+    replica_options.metrics.instance = "Tokyo-db";
+    replica_options.wal = wal.get();
+    auto replica = std::make_unique<db::Database>(std::move(replica_options));
+    if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
+      ADD_FAILURE() << "CreateSchema failed for Tokyo";
+      return run;
+    }
+    db::Database* raw = replica.get();
+    auto site_or = core::ServingSite::CreateAround(tokyo_site_options(),
+                                                   std::move(replica));
+    if (!site_or.ok()) {
+      ADD_FAILURE() << "CreateAround failed for Tokyo: "
+                    << site_or.status().message();
+      return run;
+    }
+    sites["Tokyo"] = std::move(site_or.value());
+    EXPECT_TRUE(topology.AddNode("Tokyo", raw).ok());
+  }
+
+  // Schaumburg: a plain in-memory replica that carries the load alone
+  // while Tokyo is down.
+  {
+    db::DatabaseOptions replica_options;
+    replica_options.clock = &clock;
+    replica_options.metrics.registry = &registry;
+    replica_options.metrics.instance = "Schaumburg-db";
+    auto replica = std::make_unique<db::Database>(std::move(replica_options));
+    if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
+      ADD_FAILURE() << "CreateSchema failed for Schaumburg";
+      return run;
+    }
+    db::Database* raw = replica.get();
+    core::SiteOptions site_options = tokyo_site_options();
+    site_options.metrics.instance = "Schaumburg";
+    auto site_or = core::ServingSite::CreateAround(std::move(site_options),
+                                                   std::move(replica));
+    if (!site_or.ok()) {
+      ADD_FAILURE() << "CreateAround failed for Schaumburg: "
+                    << site_or.status().message();
+      return run;
+    }
+    sites["Schaumburg"] = std::move(site_or.value());
+    EXPECT_TRUE(topology.AddNode("Schaumburg", raw).ok());
+  }
+  EXPECT_TRUE(topology.SetFeed("Tokyo", "Nagano", FromMillis(40)).ok());
+  EXPECT_TRUE(topology.SetFeed("Schaumburg", "Nagano", FromMillis(130)).ok());
+
+  clock.Advance(kSecond);
+  topology.PumpUntilQuiet();
+  for (auto& [_, site] : sites) {
+    auto prefetched = site->PrefetchAll();
+    EXPECT_TRUE(prefetched.ok());
+    site->StartTrigger();
+  }
+
+  workload::FeedOptions feed_options;
+  feed_options.results_per_event = 6;
+  feed_options.news_per_day = 2;
+  feed_options.photos_per_event = 0;
+  feed_options.first_event_offset = 0;
+  feed_options.event_window = 90 * kSecond;
+  workload::ResultFeed feed(master.get(), feed_options, 98);
+  std::vector<workload::FeedUpdate> schedule = feed.BuildDaySchedule(1);
+
+  workload::PageSampler sampler(content, *master);
+  sampler.SetCurrentDay(1);
+  Rng rng(workload_seed);
+
+  const TimeNs start = clock.Now();
+  size_t next_update = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  size_t ring = 0;
+  int crash_tick = 0;
+  TimeNs restart_at = 0;
+  bool restarted = false;
+
+  std::snprintf(line, sizeof line,
+                "restart drill: crash=%d workload=%llu duration=%ds\n",
+                crash ? 1 : 0,
+                static_cast<unsigned long long>(workload_seed), kDurationS);
+  run.transcript += line;
+
+  for (int t = 1; t <= kDurationS; ++t) {
+    clock.Advance(kSecond);
+    const TimeNs elapsed = clock.Now() - start;
+
+    while (next_update < schedule.size() &&
+           schedule[next_update].at <= elapsed) {
+      EXPECT_TRUE(feed.Apply(schedule[next_update]).ok());
+      ++next_update;
+    }
+    topology.Pump();
+
+    // A pre-crash checkpoint, so recovery exercises the image + tail path
+    // rather than a cold full-log replay.
+    if (t == kCheckpointTick && sites.count("Tokyo") != 0U) {
+      const Status ckpt = sites["Tokyo"]->db().Checkpoint();
+      EXPECT_TRUE(ckpt.ok()) << ckpt.message();
+      std::snprintf(line, sizeof line, "t=%3ds checkpoint seqno=%llu\n", t,
+                    static_cast<unsigned long long>(
+                        sites["Tokyo"]->db().LastSeqno()));
+      run.transcript += line;
+    }
+
+    // The kill: the injected append fault left a torn frame on Tokyo's
+    // disk and wedged the log — the process is dead. Drop the site (its
+    // destructor stops the trigger), close the WAL fds, mark the replica
+    // down. Nothing of the in-memory state survives; only the WAL files.
+    if (crash && !run.crashed && faults.injected_total() > 0) {
+      run.crashed = true;
+      crash_tick = t;
+      EXPECT_TRUE(topology.MarkDown("Tokyo").ok());
+      sites.erase("Tokyo");
+      wal.reset();
+      std::snprintf(line, sizeof line,
+                    "t=%3ds CRASH torn append, Tokyo down (master_seq=%llu)\n",
+                    t, static_cast<unsigned long long>(master->LastSeqno()));
+      run.transcript += line;
+    }
+
+    // The warm restart, fifteen sim-seconds later: reopen the WAL (the
+    // scan truncates the torn tail), rebuild the database from checkpoint
+    // + tail, and rejoin the replication tree under the old name. The
+    // site is alive but not ready: Health() keeps failing until the
+    // catch-up target is reached and the cache is repopulated.
+    if (run.crashed && !restarted && t == crash_tick + kRestartDelayTicks) {
+      restarted = true;
+      wal = open_wal();
+      if (wal == nullptr) return run;
+      run.torn_tails = wal->stats().torn_tails;
+      core::SiteOptions site_options = tokyo_site_options();
+      site_options.wal = wal.get();
+      auto site_or = core::ServingSite::WarmRestart(std::move(site_options));
+      if (!site_or.ok()) {
+        ADD_FAILURE() << "WarmRestart failed: " << site_or.status().message();
+        return run;
+      }
+      std::unique_ptr<core::ServingSite> site = std::move(site_or.value());
+      run.recovered_seqno = site->db().LastSeqno();
+      run.catch_up_target = master->LastSeqno();
+      site->SetCatchUpTarget(run.catch_up_target);
+      EXPECT_TRUE(topology.ReattachNode("Tokyo", &site->db()).ok());
+      EXPECT_TRUE(topology.MarkUp("Tokyo").ok());
+      EXPECT_FALSE(site->Health().ok);  // not ready until caught up
+      sites["Tokyo"] = std::move(site);
+      restart_at = clock.Now();
+      std::snprintf(line, sizeof line,
+                    "t=%3ds RESTART recovered_seq=%llu target=%llu "
+                    "torn_tails=%llu\n",
+                    t, static_cast<unsigned long long>(run.recovered_seqno),
+                    static_cast<unsigned long long>(run.catch_up_target),
+                    static_cast<unsigned long long>(run.torn_tails));
+      run.transcript += line;
+    }
+
+    // Rejoin: once replication has pulled the recovered database past the
+    // catch-up target, repopulate the cache and return to the serve ring.
+    if (restarted && !run.rejoined &&
+        sites["Tokyo"]->db().LastSeqno() >= run.catch_up_target) {
+      core::ServingSite& tokyo = *sites["Tokyo"];
+      auto prefetched = tokyo.PrefetchAll();
+      EXPECT_TRUE(prefetched.ok());
+      tokyo.StartTrigger();
+      EXPECT_TRUE(tokyo.CaughtUp());
+      EXPECT_TRUE(tokyo.Health().ok);
+      run.rejoined = true;
+      run.rejoin_latency = clock.Now() - restart_at;
+      std::snprintf(line, sizeof line,
+                    "t=%3ds REJOIN tokyo_seq=%llu rejoin_latency=%.1fs\n", t,
+                    static_cast<unsigned long long>(tokyo.db().LastSeqno()),
+                    static_cast<double>(run.rejoin_latency) / kSecond);
+      run.transcript += line;
+    }
+
+    // The serve ring is whatever is alive and ready this tick. A site in
+    // recovery takes no traffic — that is what Health() gating means.
+    std::vector<core::ServingSite*> serve_ring;
+    for (const char* name : {"Tokyo", "Schaumburg"}) {
+      auto it = sites.find(name);
+      if (it != sites.end() && it->second->CaughtUp()) {
+        serve_ring.push_back(it->second.get());
+      }
+    }
+    for (core::ServingSite* site : serve_ring) site->Quiesce();
+    for (int r = 0; r < kRequestsPerTick; ++r) {
+      const std::string page = sampler.Sample(rng);
+      core::ServingSite* site = serve_ring[ring++ % serve_ring.size()];
+      const server::ServeOutcome outcome = site->Serve(page);
+      if (outcome.cls != server::ServeClass::kError) {
+        ++served;
+      } else {
+        ++failed;
+      }
+    }
+
+    if (t % 10 == 0) {
+      std::snprintf(
+          line, sizeof line,
+          "t=%3ds served=%llu failed=%llu master_seq=%llu sites=%zu\n", t,
+          static_cast<unsigned long long>(served),
+          static_cast<unsigned long long>(failed),
+          static_cast<unsigned long long>(master->LastSeqno()),
+          serve_ring.size());
+      run.transcript += line;
+    }
+  }
+
+  topology.PumpUntilQuiet();
+  for (auto& [_, site] : sites) site->Quiesce();
+  run.converged = topology.Converged();
+  for (auto& [name, site] : sites) {
+    auto verified = site->VerifyCacheConsistency();
+    EXPECT_TRUE(verified.ok()) << name << ": " << verified.status().message();
+    if (verified.ok()) run.cache_objects_verified += verified.value();
+  }
+
+  run.requests = served + failed;
+  run.availability =
+      run.requests == 0
+          ? 0.0
+          : static_cast<double>(served) / static_cast<double>(run.requests);
+
+  // The identity check: the recovered site's served bytes, page by page,
+  // against whatever the control run produces for the same seed.
+  for (const char* name : {"Tokyo", "Schaumburg"}) {
+    auto it = sites.find(name);
+    if (it == sites.end()) continue;
+    for (const std::string& page :
+         {pagegen::OlympicSite::DayHomePage(1),
+          pagegen::OlympicSite::EventPage(1),
+          pagegen::OlympicSite::EventPage(3),
+          pagegen::OlympicSite::MedalsPage()}) {
+      const server::ServeOutcome outcome = it->second->Serve(page, true);
+      std::snprintf(line, sizeof line, "%s %s bytes=%zu fnv=%016llx\n", name,
+                    page.c_str(), outcome.bytes,
+                    static_cast<unsigned long long>(Fnv1a(outcome.body)));
+      run.fingerprints += line;
+    }
+  }
+  run.transcript += run.fingerprints;
+  return run;
+}
+
+TEST(ChaosRestartDrillTest, TornTailWarmRestartServesByteIdenticalPages) {
+  const std::string crash_dir = MakeWalTempDir();
+  const std::string control_dir = MakeWalTempDir();
+  const std::string replay_dir = MakeWalTempDir();
+  ASSERT_FALSE(crash_dir.empty());
+  ASSERT_FALSE(control_dir.empty());
+  ASSERT_FALSE(replay_dir.empty());
+  const uint64_t seed = 0x6e6167616e6fULL;  // "nagano"
+
+  const RestartDrillRun crashed = RunRestartDrill(true, crash_dir, seed);
+  const RestartDrillRun control = RunRestartDrill(false, control_dir, seed);
+
+  // The scripted kill actually happened: a torn frame was written, found
+  // and dropped by the reopen scan, and the recovered database came back
+  // behind the live master (there was a real delta to pull).
+  EXPECT_TRUE(crashed.crashed) << crashed.transcript;
+  EXPECT_GE(crashed.torn_tails, 1u) << crashed.transcript;
+  EXPECT_GT(crashed.recovered_seqno, 0u);
+  EXPECT_LT(crashed.recovered_seqno, crashed.catch_up_target)
+      << crashed.transcript;
+
+  // The site rejoined — and fast: well inside the paper's 60 s freshness
+  // bound, measured from WAL reopen to back-in-the-serve-ring.
+  EXPECT_TRUE(crashed.rejoined) << crashed.transcript;
+  EXPECT_LE(crashed.rejoin_latency, 60 * kSecond) << crashed.transcript;
+
+  // Availability held through the crash and the restart: Schaumburg
+  // carried the ring alone while Tokyo was away.
+  EXPECT_GE(crashed.requests, 700u);
+  EXPECT_GE(crashed.availability, 0.99) << crashed.transcript;
+  EXPECT_TRUE(crashed.converged) << crashed.transcript;
+  EXPECT_GT(crashed.cache_objects_verified, 0u);
+
+  // The control never crashed, and the recovered run's final served bytes
+  // are identical to the control's, page for page, site for site.
+  EXPECT_FALSE(control.crashed);
+  EXPECT_TRUE(control.converged);
+  EXPECT_EQ(crashed.fingerprints, control.fingerprints)
+      << "crashed:\n" << crashed.transcript
+      << "\ncontrol:\n" << control.transcript;
+
+  // Crash, recovery, and rejoin replay byte-identically under the same
+  // seed — the torn-tail path is as deterministic as the rest of the plan.
+  const RestartDrillRun replay = RunRestartDrill(true, replay_dir, seed);
+  EXPECT_EQ(crashed.transcript, replay.transcript);
+
+  std::filesystem::remove_all(crash_dir);
+  std::filesystem::remove_all(control_dir);
+  std::filesystem::remove_all(replay_dir);
 }
 
 }  // namespace

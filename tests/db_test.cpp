@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "db/database.h"
+#include "wal/wal.h"
 
 namespace nagano::db {
 namespace {
@@ -442,6 +448,165 @@ TEST(DbReplicateTest, ReplicatedDeleteApplies) {
     ASSERT_TRUE(replica.ApplyReplicated(change).ok());
   }
   EXPECT_EQ(replica.RowCount("events"), 0u);
+}
+
+// --- change-log retention and recovery (ISSUE 4) ----------------------------
+
+namespace {
+
+// Self-cleaning mkdtemp directory for WAL-backed databases.
+struct TempWalDir {
+  TempWalDir() {
+    char tmpl[] = "/tmp/nagano_db_wal_XXXXXX";
+    const char* created = ::mkdtemp(tmpl);
+    EXPECT_NE(created, nullptr);
+    path = created;
+  }
+  ~TempWalDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::unique_ptr<wal::WriteAheadLog> OpenWal(const std::string& dir,
+                                            metrics::MetricRegistry* registry) {
+  wal::WalOptions options;
+  options.dir = dir;
+  options.metrics.registry = registry;
+  auto log = wal::WriteAheadLog::Open(std::move(options));
+  EXPECT_TRUE(log.ok()) << log.status().ToString();
+  return std::move(log).value();
+}
+
+Database MakeWalDb(wal::WriteAheadLog* wal, metrics::MetricRegistry* registry,
+                   size_t retention = 0) {
+  DatabaseOptions options;
+  options.metrics.registry = registry;
+  options.wal = wal;
+  options.change_log_retention = retention;
+  return Database(std::move(options));
+}
+
+void UpsertN(Database& db, int from, int to) {
+  for (int i = from; i <= to; ++i) {
+    ASSERT_TRUE(db.Upsert("events", {Value(int64_t(i)),
+                                     Value("e" + std::to_string(i)),
+                                     Value(double(i))})
+                    .ok());
+  }
+}
+
+}  // namespace
+
+TEST(DbRetentionTest, CheckpointTruncatesLogToRetention) {
+  TempWalDir dir;
+  metrics::MetricRegistry registry;
+  auto wal = OpenWal(dir.path, &registry);
+  Database db = MakeWalDb(wal.get(), &registry, /*retention=*/4);
+  CreateEventsTable(db);
+  UpsertN(db, 1, 10);  // seqnos 1..10
+  EXPECT_EQ(db.log_head_seqno(), 1u);
+  EXPECT_EQ(db.ChangesSince(0).size(), 10u);
+
+  ASSERT_TRUE(db.Checkpoint().ok());
+  // Retention 4 keeps seqnos 7..10; the head moves to 7.
+  EXPECT_EQ(db.log_head_seqno(), 7u);
+  EXPECT_EQ(db.ChangesSince(6).size(), 4u);
+  EXPECT_EQ(db.ChangesSince(6).front().seqno, 7u);
+}
+
+TEST(DbRetentionTest, ReadChangesAroundTruncatedHead) {
+  TempWalDir dir;
+  metrics::MetricRegistry registry;
+  auto wal = OpenWal(dir.path, &registry);
+  Database db = MakeWalDb(wal.get(), &registry, /*retention=*/4);
+  CreateEventsTable(db);
+  UpsertN(db, 1, 10);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_EQ(db.log_head_seqno(), 7u);
+
+  // Exactly at the head (after = head-1 = 6): everything retained, no gap.
+  auto at_head = db.ReadChanges(6);
+  ASSERT_TRUE(at_head.ok());
+  EXPECT_EQ(at_head.value().size(), 4u);
+  EXPECT_EQ(at_head.value().front().seqno, 7u);
+
+  // Before the head: the gap status that drives replica resync.
+  for (uint64_t after : {0u, 3u, 5u}) {
+    auto gap = db.ReadChanges(after);
+    EXPECT_EQ(gap.status().code(), ErrorCode::kDataLoss) << "after=" << after;
+  }
+  // ChangesSince itself stays infallible: it returns the retained suffix.
+  EXPECT_EQ(db.ChangesSince(0).size(), 4u);
+  EXPECT_EQ(db.ChangesSince(0).front().seqno, 7u);
+
+  // Past the end: empty, not an error.
+  auto past = db.ReadChanges(10);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().empty());
+  auto way_past = db.ReadChanges(1000);
+  ASSERT_TRUE(way_past.ok());
+  EXPECT_TRUE(way_past.value().empty());
+}
+
+TEST(DbRetentionTest, UnboundedRetentionKeepsFullLog) {
+  TempWalDir dir;
+  metrics::MetricRegistry registry;
+  auto wal = OpenWal(dir.path, &registry);
+  Database db = MakeWalDb(wal.get(), &registry, /*retention=*/0);
+  CreateEventsTable(db);
+  UpsertN(db, 1, 10);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(db.log_head_seqno(), 1u);
+  ASSERT_TRUE(db.ReadChanges(0).ok());
+  EXPECT_EQ(db.ReadChanges(0).value().size(), 10u);
+}
+
+TEST(DbRecoverTest, SeqnoContinuityAcrossRecover) {
+  TempWalDir dir;
+  metrics::MetricRegistry registry;
+  uint64_t last_before_crash = 0;
+  {
+    auto wal = OpenWal(dir.path, &registry);
+    Database db = MakeWalDb(wal.get(), &registry, /*retention=*/4);
+    CreateEventsTable(db);
+    UpsertN(db, 1, 6);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    UpsertN(db, 7, 9);  // post-checkpoint tail
+    last_before_crash = db.LastSeqno();
+    ASSERT_EQ(last_before_crash, 9u);
+  }
+  // "Crash": drop the database, reopen the WAL, recover a fresh one.
+  metrics::MetricRegistry registry2;
+  auto wal = OpenWal(dir.path, &registry2);
+  Database recovered = MakeWalDb(wal.get(), &registry2);
+  ASSERT_TRUE(recovered.Recover().ok());
+
+  // Original seqnos preserved...
+  EXPECT_EQ(recovered.LastSeqno(), last_before_crash);
+  EXPECT_EQ(recovered.RowCount("events"), 9u);
+  // ...the rebuilt in-memory log starts after the checkpoint...
+  EXPECT_EQ(recovered.log_head_seqno(), 7u);
+  EXPECT_EQ(recovered.ChangesSince(6).size(), 3u);
+  EXPECT_EQ(recovered.ReadChanges(3).status().code(), ErrorCode::kDataLoss);
+  // ...and new commits continue densely from the recovered tip.
+  ASSERT_TRUE(recovered
+                  .Upsert("events", {Value(int64_t(100)),
+                                     Value(std::string("post")), Value(1.0)})
+                  .ok());
+  EXPECT_EQ(recovered.LastSeqno(), last_before_crash + 1);
+  EXPECT_EQ(recovered.ChangesSince(last_before_crash).front().seqno,
+            last_before_crash + 1);
+  // A replica that was at the master's pre-crash seqno can keep pulling.
+  Database replica;
+  CreateEventsTable(replica);
+  // (replica applies the retained suffix it can reach)
+  for (const auto& change : recovered.ChangesSince(6)) {
+    // Replica is empty, so dense-apply needs seqno 1 first — this exercise
+    // is just that recovered ChangesSince yields records starting at 7.
+    EXPECT_GE(change.seqno, 7u);
+  }
 }
 
 }  // namespace
