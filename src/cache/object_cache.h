@@ -34,10 +34,32 @@ namespace nagano::cache {
 // keeps a consistent body even while the trigger monitor replaces the entry.
 struct CachedObject {
   std::string body;
+  // Ready-to-send entity-header lines for this body, each CRLF-terminated:
+  // "Content-Length: N\r\nX-Nagano-Version: V\r\n". Built once per store
+  // (Put/UpdateInPlace) so a cache hit assembles its HTTP header block by
+  // appending this span — Vcache's complete-entity caching: no per-request
+  // itoa, no per-request length math. The version line is the ETag-style
+  // change stamp.
+  std::string entity_headers;
   uint64_t version = 0;   // monotonically increasing per key
   TimeNs stored_at = 0;   // cache clock at insert/update time
   bool stale = false;     // invalidated but retained as last-known-good
 };
+
+// Aliasing views into a cached object: shared_ptrs that point at the body /
+// entity-header strings but share the object's control block, so the serving
+// path can hand just the bytes to the HTTP writer while keeping the whole
+// object alive until the socket flush completes.
+inline std::shared_ptr<const std::string> BodyRef(
+    const std::shared_ptr<const CachedObject>& object) {
+  if (object == nullptr) return nullptr;
+  return std::shared_ptr<const std::string>(object, &object->body);
+}
+inline std::shared_ptr<const std::string> EntityHeadersRef(
+    const std::shared_ptr<const CachedObject>& object) {
+  if (object == nullptr) return nullptr;
+  return std::shared_ptr<const std::string>(object, &object->entity_headers);
+}
 
 struct CacheStats {
   uint64_t hits = 0;

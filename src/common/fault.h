@@ -22,6 +22,9 @@
 //                                       (kWindow outage rules)
 //   "trigger"      metrics instance     "notify" (drop / duplicate)
 //   "http"         metrics instance     "accept", "read", "write"
+//                  (with reactors > 1 the site is "<instance>/r<k>", one
+//                  per reactor, so a drill can kill a single event loop's
+//                  sockets; empty-site rules wildcard across all of them)
 //   "cache"        metrics instance     "lookup"
 //
 // Every fire is appended to a timeline (Timeline()/TimelineString()) so

@@ -239,11 +239,19 @@ void ServingSite::Quiesce() {
 Result<size_t> ServingSite::VerifyCacheConsistency() {
   size_t checked = 0;
   auto verify_one = [&](const std::string& key,
-                        const std::string& cached_body) -> Status {
+                        const cache::CachedObject& object) -> Status {
+    // The pre-serialized entity prefix travels to clients verbatim on the
+    // zero-copy hit path, so it must agree with the body it rides with.
+    const std::string expected_headers =
+        "Content-Length: " + std::to_string(object.body.size()) +
+        "\r\nX-Nagano-Version: " + std::to_string(object.version) + "\r\n";
+    if (object.entity_headers != expected_headers) {
+      return InternalError("entity headers out of sync for: " + key);
+    }
     if (!renderer_->CanGenerate(key)) return Status::Ok();  // foreign entry
     auto fresh = renderer_->RenderOnly(key);
     if (!fresh.ok()) return fresh.status();
-    if (fresh.value() != cached_body) {
+    if (fresh.value() != object.body) {
       return InternalError("stale cache entry: " + key);
     }
     ++checked;
@@ -254,14 +262,14 @@ Result<size_t> ServingSite::VerifyCacheConsistency() {
   // own entry is compared against a direct render too, so any staleness
   // surfaces somewhere in the sweep.
   for (const auto& [key, object] : cache_->Snapshot()) {
-    if (Status s = verify_one(key, object->body); !s.ok()) return s;
+    if (Status s = verify_one(key, *object); !s.ok()) return s;
   }
   if (fleet_ != nullptr) {
     if (!fleet_->AllNodesIdentical()) {
       return InternalError("fleet nodes diverged");
     }
     for (const auto& [key, object] : fleet_->node(0).Snapshot()) {
-      if (Status s = verify_one(key, object->body); !s.ok()) return s;
+      if (Status s = verify_one(key, *object); !s.ok()) return s;
     }
   }
   return checked;

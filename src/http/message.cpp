@@ -47,12 +47,25 @@ Status ParseHeaders(std::string_view block, HeaderMap& out) {
   return Status::Ok();
 }
 
-void SerializeHeaders(const HeaderMap& headers, std::string& out) {
+// Exact byte count of the "Name: value\r\n" lines for `headers`, skipping
+// Content-Length when told to (the serializer computes its own).
+size_t HeaderBlockSize(const HeaderMap& headers, bool skip_content_length) {
+  size_t total = 0;
   for (const auto& [name, value] : headers) {
-    out += name;
-    out += ": ";
-    out += value;
-    out += "\r\n";
+    if (skip_content_length && IEquals(name, "Content-Length")) continue;
+    total += name.size() + 2 + value.size() + 2;
+  }
+  return total;
+}
+
+void AppendHeaders(const HeaderMap& headers, bool skip_content_length,
+                   std::string& out) {
+  for (const auto& [name, value] : headers) {
+    if (skip_content_length && IEquals(name, "Content-Length")) continue;
+    out.append(name);
+    out.append(": ", 2);
+    out.append(value);
+    out.append("\r\n", 2);
   }
 }
 
@@ -99,14 +112,28 @@ bool HttpRequest::KeepAlive() const {
 }
 
 std::string HttpRequest::Serialize() const {
-  std::string out = method + " " + target + " " + version + "\r\n";
-  HeaderMap h = headers;
-  if (!body.empty() || method == "POST" || method == "PUT") {
-    h["Content-Length"] = std::to_string(body.size());
+  const bool needs_length =
+      !body.empty() || method == "POST" || method == "PUT";
+  std::string length_line;
+  if (needs_length) {
+    length_line = "Content-Length: ";
+    length_line += std::to_string(body.size());
+    length_line += "\r\n";
   }
-  SerializeHeaders(h, out);
-  out += "\r\n";
-  out += body;
+  std::string out;
+  out.reserve(method.size() + 1 + target.size() + 1 + version.size() + 2 +
+              HeaderBlockSize(headers, needs_length) + length_line.size() + 2 +
+              body.size());
+  out.append(method);
+  out.push_back(' ');
+  out.append(target);
+  out.push_back(' ');
+  out.append(version);
+  out.append("\r\n", 2);
+  AppendHeaders(headers, needs_length, out);
+  out.append(length_line);
+  out.append("\r\n", 2);
+  out.append(body);
   return out;
 }
 
@@ -144,14 +171,45 @@ HttpResponse HttpResponse::ServiceUnavailable(std::string message) {
   return r;
 }
 
+void HttpResponse::SerializeHeaders(std::string& out,
+                                    std::string_view extra_lines) const {
+  const std::string status_str = std::to_string(status);
+  // header_ref (the cache's pre-serialized entity prefix) already carries
+  // Content-Length; otherwise compute one from the entity, overriding any
+  // stale map entry (e.g. a parsed response being re-serialized).
+  std::string length_line;
+  if (header_ref == nullptr) {
+    length_line = "Content-Length: ";
+    length_line += std::to_string(BodySize());
+    length_line += "\r\n";
+  }
+  out.reserve(out.size() + version.size() + 1 + status_str.size() + 1 +
+              reason.size() + 2 + extra_lines.size() +
+              HeaderBlockSize(headers, true) +
+              (header_ref != nullptr ? header_ref->size() : 0) +
+              length_line.size() + 2);
+  out.append(version);
+  out.push_back(' ');
+  out.append(status_str);
+  out.push_back(' ');
+  out.append(reason);
+  out.append("\r\n", 2);
+  out.append(extra_lines);
+  AppendHeaders(headers, /*skip_content_length=*/true, out);
+  if (header_ref != nullptr) {
+    out.append(*header_ref);
+  } else {
+    out.append(length_line);
+  }
+  out.append("\r\n", 2);
+}
+
 std::string HttpResponse::Serialize() const {
-  std::string out =
-      version + " " + std::to_string(status) + " " + reason + "\r\n";
-  HeaderMap h = headers;
-  h["Content-Length"] = std::to_string(body.size());
-  SerializeHeaders(h, out);
-  out += "\r\n";
-  out += body;
+  const std::string& payload = BodyView();
+  std::string out;
+  SerializeHeaders(out);  // reserves the header block exactly
+  out.reserve(out.size() + payload.size());
+  out.append(payload);
   return out;
 }
 

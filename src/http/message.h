@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -44,14 +45,43 @@ struct HttpResponse {
   HeaderMap headers;
   std::string body;
 
+  // Zero-copy entity: when set, the referenced string is the response body
+  // and `body` is ignored. The shared_ptr typically aliases a cached
+  // object's body (cache/object_cache.h), so a hit hands the stored bytes
+  // straight to the socket without copying — the writer holds the ref until
+  // the last byte is flushed, keeping the entity alive even if the cache
+  // entry is replaced mid-write.
+  std::shared_ptr<const std::string> body_ref;
+
+  // Pre-serialized entity-header lines ("Content-Length: N\r\n...", each
+  // CRLF-terminated) owned by the cache entry and appended verbatim to the
+  // header block. When set, the serializer must NOT emit its own
+  // Content-Length — the prefix already carries one.
+  std::shared_ptr<const std::string> header_ref;
+
+  // The entity regardless of which field carries it.
+  const std::string& BodyView() const {
+    return body_ref != nullptr ? *body_ref : body;
+  }
+  size_t BodySize() const { return BodyView().size(); }
+
   static HttpResponse Ok(std::string body,
                          std::string content_type = "text/html");
   static HttpResponse NotFound(std::string message = "not found");
   static HttpResponse ServerError(std::string message = "internal error");
   static HttpResponse ServiceUnavailable(std::string message = "unavailable");
 
-  // Sets Content-Length from body and serializes.
+  // Sets Content-Length from the entity and serializes into one exactly
+  // pre-sized string (status line, headers, blank line, body).
   std::string Serialize() const;
+
+  // Serializes everything up to and including the blank line — the flat
+  // header block the scatter-gather write path pairs with the body ref.
+  // Appends to `out`. `extra_lines` is a pre-serialized CRLF-terminated
+  // block (e.g. the server's cached "Date: ...\r\n" line) spliced in right
+  // after the status line.
+  void SerializeHeaders(std::string& out,
+                        std::string_view extra_lines = {}) const;
 };
 
 // Incremental parser: feed bytes as they arrive; a complete message is

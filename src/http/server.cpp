@@ -7,32 +7,19 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "common/logging.h"
 
 namespace nagano::http {
-
-struct HttpServer::Connection {
-  int fd = -1;
-  RequestParser parser;
-  std::string out;        // bytes pending write
-  size_t out_offset = 0;  // already written
-  uint64_t served = 0;    // requests answered on this connection
-  TimeNs last_activity = 0;  // wall clock; drives the idle sweep
-  bool close_after_flush = false;
-  bool want_write = false;
-};
-
-struct HttpServer::Impl {
-  std::unordered_map<int, Connection> connections;
-};
-
 namespace {
 
 bool SetNonBlocking(int fd) {
@@ -40,11 +27,105 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// One element of a connection's scatter-gather output queue: either an owned
+// byte block (header blocks, error bodies) or a shared reference into a
+// cached entity (the zero-copy hit path). Exactly one of the two is active.
+struct OutChunk {
+  std::string owned;
+  std::shared_ptr<const std::string> ref;
+
+  const char* data() const { return ref != nullptr ? ref->data() : owned.data(); }
+  size_t size() const { return ref != nullptr ? ref->size() : owned.size(); }
+};
+
+int CreateListener(const std::string& bind_address, uint16_t port, int backlog,
+                   bool reuse_port, uint16_t* bound_port, Status* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *status = InternalError(std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    *status = UnavailableError(std::string("SO_REUSEPORT: ") +
+                               std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *status = InvalidArgumentError("bad bind address " + bind_address);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    *status = UnavailableError(std::string("bind: ") + std::strerror(errno));
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    *status = InternalError(std::string("listen: ") + std::strerror(errno));
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  SetNonBlocking(fd);
+  return fd;
+}
+
 }  // namespace
+
+struct HttpServer::Connection {
+  int fd = -1;
+  RequestParser parser;
+  // Scatter-gather output queue, drained front-first via writev. The front
+  // chunk may be partially written (front_offset bytes already gone).
+  std::deque<OutChunk> out;
+  size_t front_offset = 0;
+  uint64_t served = 0;       // requests answered on this connection
+  TimeNs last_activity = 0;  // wall clock; drives the idle sweep
+  bool close_after_flush = false;
+  bool want_write = false;
+};
+
+struct HttpServer::Reactor {
+  size_t index = 0;
+  std::string site;  // fault-injection site ("<instance>/r<k>" when multi)
+  metrics::Counter* requests = nullptr;  // reactor-labelled request counter
+
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  // Owned listen socket: every reactor in SO_REUSEPORT mode, reactor 0 only
+  // in round-robin mode, -1 otherwise.
+  int listen_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, Connection> connections;
+
+  // Round-robin handoff: reactor 0 pushes accepted fds here and kicks
+  // wake_fd; the owning reactor adopts them on its next loop turn.
+  std::mutex handoff_mutex;
+  std::vector<int> handoff;
+  size_t next_robin = 0;  // reactor 0's round-robin cursor
+
+  // 1-second-granularity cached "Date: ...\r\n" line, private to this
+  // reactor's thread so header assembly is an append of a span.
+  time_t date_second = -1;
+  std::string date_line;
+};
 
 Status HttpServer::Options::Validate() const {
   if (backlog < 1) {
     return InvalidArgumentError("HttpServer::Options.backlog must be >= 1");
+  }
+  if (reactors < 1 || reactors > 64) {
+    return InvalidArgumentError(
+        "HttpServer::Options.reactors must be in [1, 64]");
   }
   if (idle_timeout < 0) {
     return InvalidArgumentError(
@@ -60,7 +141,6 @@ Status HttpServer::Options::Validate() const {
 HttpServer::HttpServer(Handler handler, Options options)
     : handler_(std::move(handler)), options_(std::move(options)) {
   ValidateOrDie(options_, "HttpServer::Options");
-  impl_ = new Impl;
   const auto scope = metrics::Scope::Resolve(options_.metrics, "http");
   instance_ = scope.labels.empty() ? std::string() : scope.labels[0].second;
   connections_ = scope.GetCounter("nagano_http_connections_accepted_total",
@@ -81,11 +161,62 @@ HttpServer::HttpServer(Handler handler, Options options)
   idle_closed_ = scope.GetCounter(
       "nagano_http_idle_closed_total",
       "connections reaped by the idle sweep (slow-loris defense)");
+  body_copies_ = scope.GetCounter(
+      "nagano_http_body_copies_total",
+      "response bodies materialized into the write path instead of served "
+      "by shared reference; zero on a cache-hit-only run");
+
+  reactors_.reserve(options_.reactors);
+  for (size_t k = 0; k < options_.reactors; ++k) {
+    auto r = std::make_unique<Reactor>();
+    r->index = k;
+    r->site = options_.reactors > 1 ? instance_ + "/r" + std::to_string(k)
+                                    : instance_;
+    r->requests = scope.registry->GetCounter(
+        "nagano_http_reactor_requests_total",
+        scope.With("reactor", std::to_string(k)),
+        "HTTP requests served, per reactor");
+    reactors_.push_back(std::move(r));
+  }
 }
 
-HttpServer::~HttpServer() {
-  Stop();
-  delete impl_;
+HttpServer::~HttpServer() { Stop(); }
+
+size_t HttpServer::reactors() const { return reactors_.size(); }
+
+Status HttpServer::StartReusePort() {
+  // The first listener resolves port 0 to a concrete port; its siblings bind
+  // the same port, and the kernel spreads incoming connections across them.
+  uint16_t port = options_.port;
+  for (auto& r : reactors_) {
+    Status st;
+    uint16_t bound = 0;
+    const int fd = CreateListener(options_.bind_address, port, options_.backlog,
+                                  /*reuse_port=*/true, &bound, &st);
+    if (fd < 0) {
+      for (auto& prev : reactors_) {
+        if (prev->listen_fd >= 0) ::close(prev->listen_fd);
+        prev->listen_fd = -1;
+      }
+      return st;
+    }
+    r->listen_fd = fd;
+    if (r->index == 0) port = bound;
+  }
+  port_ = port;
+  return Status::Ok();
+}
+
+Status HttpServer::StartRoundRobin() {
+  Status st;
+  uint16_t bound = 0;
+  const int fd = CreateListener(options_.bind_address, options_.port,
+                                options_.backlog, /*reuse_port=*/false, &bound,
+                                &st);
+  if (fd < 0) return st;
+  reactors_[0]->listen_fd = fd;
+  port_ = bound;
+  return Status::Ok();
 }
 
 Status HttpServer::Start() {
@@ -93,130 +224,147 @@ Status HttpServer::Start() {
     return FailedPreconditionError("server already running");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    running_ = false;
-    return InternalError(std::string("socket: ") + std::strerror(errno));
+  Status st;
+  const AcceptMode want = options_.accept_mode;
+  resolved_mode_ = AcceptMode::kRoundRobin;
+  if (want == AcceptMode::kReusePort ||
+      (want == AcceptMode::kAuto && reactors_.size() > 1)) {
+    st = StartReusePort();
+    if (st.ok()) {
+      resolved_mode_ = AcceptMode::kReusePort;
+    } else if (want == AcceptMode::kReusePort) {
+      running_ = false;
+      return st;
+    }
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    running_ = false;
-    return InvalidArgumentError("bad bind address " + options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(listen_fd_);
-    running_ = false;
-    return UnavailableError(std::string("bind: ") + std::strerror(errno));
-  }
-  if (::listen(listen_fd_, options_.backlog) < 0) {
-    ::close(listen_fd_);
-    running_ = false;
-    return InternalError(std::string("listen: ") + std::strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  SetNonBlocking(listen_fd_);
-
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    Stop();
-    return InternalError("epoll/eventfd creation failed");
+  if (resolved_mode_ == AcceptMode::kRoundRobin) {
+    st = StartRoundRobin();
+    if (!st.ok()) {
+      running_ = false;
+      return st;
+    }
   }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-
-  loop_ = std::thread([this] { Loop(); });
+  for (auto& r : reactors_) {
+    r->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    r->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (r->epoll_fd < 0 || r->wake_fd < 0) {
+      Stop();
+      return InternalError("epoll/eventfd creation failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    ::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+    if (r->listen_fd >= 0) {
+      ev.data.fd = r->listen_fd;
+      ::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->listen_fd, &ev);
+    }
+  }
+  for (auto& r : reactors_) {
+    Reactor* rp = r.get();
+    r->thread = std::thread([this, rp] { ReactorLoop(*rp); });
+  }
   return Status::Ok();
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  if (wake_fd_ >= 0) {
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  for (auto& r : reactors_) {
+    if (r->wake_fd >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(r->wake_fd, &one, sizeof(one));
+    }
   }
-  if (loop_.joinable()) loop_.join();
-  for (auto& [fd, conn] : impl_->connections) {
-    ::close(fd);
-    connections_closed_->Increment();
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
   }
-  impl_->connections.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  for (auto& r : reactors_) {
+    for (auto& [fd, conn] : r->connections) {
+      ::close(fd);
+      connections_closed_->Increment();
+    }
+    r->connections.clear();
+    {
+      std::lock_guard<std::mutex> lock(r->handoff_mutex);
+      for (int fd : r->handoff) {
+        ::close(fd);
+        connections_closed_->Increment();
+      }
+      r->handoff.clear();
+    }
+    if (r->listen_fd >= 0) ::close(r->listen_fd);
+    if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+    r->listen_fd = r->epoll_fd = r->wake_fd = -1;
+    r->next_robin = 0;
+    r->date_second = -1;
+  }
 }
 
-void HttpServer::Loop() {
+void HttpServer::ReactorLoop(Reactor& r) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_relaxed)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    const int n = ::epoll_wait(r.epoll_fd, events, kMaxEvents, 100);
     if (n < 0) {
       if (errno == EINTR) continue;
-      LOG_ERROR("epoll_wait: %s", std::strerror(errno));
+      LOG_ERROR("epoll_wait (reactor %zu): %s", r.index, std::strerror(errno));
       return;
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         uint64_t drain;
-        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        [[maybe_unused]] ssize_t rd = ::read(r.wake_fd, &drain, sizeof(drain));
+        DrainHandoff(r);
         continue;
       }
-      if (fd == listen_fd_) {
-        AcceptNew();
+      if (fd == r.listen_fd) {
+        AcceptNew(r, fd);
         continue;
       }
-      auto it = impl_->connections.find(fd);
-      if (it == impl_->connections.end()) continue;
+      auto it = r.connections.find(fd);
+      if (it == r.connections.end()) continue;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        CloseConnection(fd);
+        CloseConnection(r, fd);
         continue;
       }
-      if (events[i].events & EPOLLIN) HandleReadable(it->second);
+      if (events[i].events & EPOLLIN) HandleReadable(r, it->second);
       // The connection may have been closed by the read path.
-      it = impl_->connections.find(fd);
-      if (it != impl_->connections.end() && (events[i].events & EPOLLOUT)) {
-        HandleWritable(it->second);
+      it = r.connections.find(fd);
+      if (it != r.connections.end() && (events[i].events & EPOLLOUT)) {
+        HandleWritable(r, it->second);
       }
     }
     if (options_.idle_timeout > 0) {
-      SweepIdle(RealClock::Instance().Now());
+      SweepIdle(r, RealClock::Instance().Now());
     }
   }
 }
 
-void HttpServer::SweepIdle(TimeNs now) {
+void HttpServer::SweepIdle(Reactor& r, TimeNs now) {
   // Collect first: CloseConnection mutates the table.
   std::vector<int> victims;
-  for (const auto& [fd, conn] : impl_->connections) {
+  for (const auto& [fd, conn] : r.connections) {
     if (now - conn.last_activity >= options_.idle_timeout) {
       victims.push_back(fd);
     }
   }
   for (int fd : victims) {
     idle_closed_->Increment();
-    CloseConnection(fd);
+    CloseConnection(r, fd);
   }
 }
 
-void HttpServer::AcceptNew() {
+void HttpServer::AcceptNew(Reactor& r, int listen_fd) {
+  // In round-robin mode reactor 0 owns the only listener and deals accepted
+  // fds across the fleet; in reuse-port mode (and single-reactor setups)
+  // whatever the kernel delivered here stays here.
+  const bool distribute =
+      resolved_mode_ == AcceptMode::kRoundRobin && reactors_.size() > 1;
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -224,28 +372,88 @@ void HttpServer::AcceptNew() {
       LOG_WARN("accept: %s", std::strerror(errno));
       return;
     }
-    if (!fault::Check(options_.faults, "http", instance_, "accept").ok()) {
+    Reactor& target =
+        distribute ? *reactors_[r.next_robin++ % reactors_.size()] : r;
+    if (!fault::Check(options_.faults, "http", target.site, "accept").ok()) {
       // A dying front end: the TCP handshake completed but the server
       // process never services the connection.
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_->Increment();
-    Connection& conn = impl_->connections[fd];
-    conn.fd = fd;
-    conn.last_activity = RealClock::Instance().Now();
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (&target == &r) {
+      AdoptConnection(r, fd);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target.handoff_mutex);
+        target.handoff.push_back(fd);
+      }
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(target.wake_fd, &one, sizeof(one));
+    }
   }
 }
 
-void HttpServer::HandleReadable(Connection& conn) {
-  if (!fault::Check(options_.faults, "http", instance_, "read").ok()) {
-    CloseConnection(conn.fd);
+void HttpServer::AdoptConnection(Reactor& r, int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Connection& conn = r.connections[fd];
+  conn.fd = fd;
+  conn.last_activity = RealClock::Instance().Now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void HttpServer::DrainHandoff(Reactor& r) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(r.handoff_mutex);
+    adopted.swap(r.handoff);
+  }
+  for (int fd : adopted) AdoptConnection(r, fd);
+}
+
+const std::string& HttpServer::DateLine(Reactor& r) {
+  const time_t sec = ::time(nullptr);
+  if (sec != r.date_second) {
+    r.date_second = sec;
+    tm tm_utc{};
+    gmtime_r(&sec, &tm_utc);
+    char buf[48];
+    const size_t n = strftime(buf, sizeof(buf),
+                              "Date: %a, %d %b %Y %H:%M:%S GMT\r\n", &tm_utc);
+    r.date_line.assign(buf, n);
+  }
+  return r.date_line;
+}
+
+void HttpServer::EnqueueResponse(Reactor& r, Connection& conn,
+                                 HttpResponse&& response) {
+  OutChunk head;
+  response.SerializeHeaders(head.owned, DateLine(r));
+  conn.out.push_back(std::move(head));
+  if (response.body_ref != nullptr) {
+    // Zero-copy: the queue holds a reference into the cached entity; the
+    // bytes flow to the socket via writev without ever being copied into
+    // the connection. The ref keeps the entity alive through the flush.
+    if (!response.body_ref->empty()) {
+      OutChunk body;
+      body.ref = std::move(response.body_ref);
+      conn.out.push_back(std::move(body));
+    }
+  } else if (!response.body.empty()) {
+    body_copies_->Increment();
+    OutChunk body;
+    body.owned = std::move(response.body);
+    conn.out.push_back(std::move(body));
+  }
+}
+
+void HttpServer::HandleReadable(Reactor& r, Connection& conn) {
+  if (!fault::Check(options_.faults, "http", r.site, "read").ok()) {
+    CloseConnection(r, conn.fd);
     return;
   }
   conn.last_activity = RealClock::Instance().Now();
@@ -260,49 +468,82 @@ void HttpServer::HandleReadable(Connection& conn) {
         bad.status = 400;
         bad.reason = "Bad Request";
         bad.body = s.message();
-        conn.out += bad.Serialize();
         conn.close_after_flush = true;
+        EnqueueResponse(r, conn, std::move(bad));
         break;
       }
       continue;
     }
     if (n == 0) {  // peer closed
-      CloseConnection(conn.fd);
+      CloseConnection(r, conn.fd);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    CloseConnection(conn.fd);
+    CloseConnection(r, conn.fd);
     return;
   }
 
   while (auto request = conn.parser.Next()) {
     requests_->Increment();
+    r.requests->Increment();
     if (conn.served++ > 0) keepalive_reuses_->Increment();
     HttpResponse response = handler_(*request);
     if (!request->KeepAlive()) {
       response.headers["Connection"] = "close";
       conn.close_after_flush = true;
     }
-    conn.out += response.Serialize();
+    EnqueueResponse(r, conn, std::move(response));
     if (conn.close_after_flush) break;
   }
-  if (!conn.out.empty()) HandleWritable(conn);
+  if (!conn.out.empty()) HandleWritable(r, conn);
 }
 
-void HttpServer::HandleWritable(Connection& conn) {
+void HttpServer::HandleWritable(Reactor& r, Connection& conn) {
   if (!conn.out.empty() &&
-      !fault::Check(options_.faults, "http", instance_, "write").ok()) {
-    CloseConnection(conn.fd);
+      !fault::Check(options_.faults, "http", r.site, "write").ok()) {
+    CloseConnection(r, conn.fd);
     return;
   }
   conn.last_activity = RealClock::Instance().Now();
-  while (conn.out_offset < conn.out.size()) {
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
-                              conn.out.size() - conn.out_offset);
+  constexpr int kMaxIov = 16;
+  while (!conn.out.empty()) {
+    iovec iov[kMaxIov];
+    int niov = 0;
+    size_t idx = 0;
+    for (auto it = conn.out.begin(); it != conn.out.end() && niov < kMaxIov;
+         ++it, ++idx) {
+      const char* base = it->data();
+      size_t len = it->size();
+      if (idx == 0) {
+        base += conn.front_offset;
+        len -= conn.front_offset;
+      }
+      if (len == 0) continue;
+      iov[niov].iov_base = const_cast<char*>(base);
+      iov[niov].iov_len = len;
+      ++niov;
+    }
+    if (niov == 0) {  // only empty chunks left
+      conn.out.clear();
+      conn.front_offset = 0;
+      break;
+    }
+    const ssize_t n = ::writev(conn.fd, iov, niov);
     if (n > 0) {
-      conn.out_offset += static_cast<size_t>(n);
       bytes_out_->Increment(static_cast<uint64_t>(n));
+      size_t written = static_cast<size_t>(n);
+      while (written > 0 && !conn.out.empty()) {
+        const size_t remain = conn.out.front().size() - conn.front_offset;
+        if (written >= remain) {
+          written -= remain;
+          conn.out.pop_front();
+          conn.front_offset = 0;
+        } else {
+          conn.front_offset += written;
+          written = 0;
+        }
+      }
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -311,19 +552,18 @@ void HttpServer::HandleWritable(Connection& conn) {
         epoll_event ev{};
         ev.events = EPOLLIN | EPOLLOUT;
         ev.data.fd = conn.fd;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
       }
       return;
     }
     if (errno == EINTR) continue;
-    CloseConnection(conn.fd);
+    CloseConnection(r, conn.fd);
     return;
   }
   // Fully flushed.
-  conn.out.clear();
-  conn.out_offset = 0;
+  conn.front_offset = 0;
   if (conn.close_after_flush) {
-    CloseConnection(conn.fd);
+    CloseConnection(r, conn.fd);
     return;
   }
   if (conn.want_write) {
@@ -331,14 +571,14 @@ void HttpServer::HandleWritable(Connection& conn) {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = conn.fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
   }
 }
 
-void HttpServer::CloseConnection(int fd) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+void HttpServer::CloseConnection(Reactor& r, int fd) {
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  if (impl_->connections.erase(fd) != 0) connections_closed_->Increment();
+  if (r.connections.erase(fd) != 0) connections_closed_->Increment();
 }
 
 ServerStats HttpServer::stats() const {
@@ -351,7 +591,15 @@ ServerStats HttpServer::stats() const {
   s.bytes_out = bytes_out_->value();
   s.keepalive_reuses = keepalive_reuses_->value();
   s.idle_closed = idle_closed_->value();
+  s.body_copies = body_copies_->value();
   return s;
+}
+
+std::vector<uint64_t> HttpServer::reactor_requests() const {
+  std::vector<uint64_t> out;
+  out.reserve(reactors_.size());
+  for (const auto& r : reactors_) out.push_back(r->requests->value());
+  return out;
 }
 
 }  // namespace nagano::http

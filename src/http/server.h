@@ -1,16 +1,24 @@
-// Epoll-based HTTP/1.1 server. Single event-loop thread, non-blocking
-// sockets, keep-alive and pipelining support. Handlers run on the loop
+// Epoll-based HTTP/1.1 server. One or more reactor threads (event loops),
+// each with its own epoll fd and connection table, non-blocking sockets,
+// keep-alive and pipelining support. Handlers run on the owning reactor's
 // thread — the Olympic serving path is cache-hit dominated, so handler
-// latency is microseconds and a single loop per "server node" mirrors the
-// paper's uniprocessor front ends.
+// latency is microseconds; Options.reactors scales the hot path across
+// processors the way the paper's SMP front ends did across CPUs.
+//
+// Responses drain through a per-connection scatter-gather queue: the header
+// block is serialized once into an owned buffer and the body rides as a
+// shared reference (writev), so a cache hit never copies the page into the
+// connection.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/fault.h"
@@ -34,6 +42,23 @@ struct ServerStats {
   uint64_t keepalive_reuses = 0;
   // Connections reaped by the idle sweep (slow-loris defense).
   uint64_t idle_closed = 0;
+  // Response bodies materialized (copied/assembled) into the write path
+  // instead of served by shared reference. Zero on a cache-hit-only run —
+  // the proof obligation of the zero-copy hit path.
+  uint64_t body_copies = 0;
+};
+
+// How accepted connections reach the reactors when reactors > 1.
+enum class AcceptMode : uint8_t {
+  // Prefer one SO_REUSEPORT listen socket per reactor (the kernel spreads
+  // connections); fall back to kRoundRobin if the socket option is
+  // unavailable.
+  kAuto,
+  kReusePort,
+  // Reactor 0 owns the single listen socket and hands accepted fds to the
+  // reactors in round-robin order over eventfd wakeups. Deterministic
+  // balance — what the bench and the multi-reactor tests use.
+  kRoundRobin,
 };
 
 class HttpServer {
@@ -44,14 +69,23 @@ class HttpServer {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
     int backlog = 128;
-    // Close connections with no traffic for this long (wall clock; the
-    // epoll loop wakes every 100 ms to sweep). 0 disables the sweep. This
-    // is the slow-loris defense: a client that trickles bytes or never
+    // Event-loop threads. 1 reproduces the uniprocessor front end; more
+    // scale the serving hot path across cores. Each reactor is its own
+    // fault-injection site ("<instance>/r<k>" when reactors > 1) and
+    // carries its own reactor-labelled request counter.
+    size_t reactors = 1;
+    AcceptMode accept_mode = AcceptMode::kAuto;
+    // Close connections with no traffic for this long (wall clock; each
+    // reactor wakes every 100 ms to sweep). 0 disables the sweep. This is
+    // the slow-loris defense: a client that trickles bytes or never
     // completes a request cannot hold a connection slot forever.
     TimeNs idle_timeout = 0;
-    // Consulted on the socket paths ({"http", <instance>, "accept"|"read"|
+    // Consulted on the socket paths ({"http", <site>, "accept"|"read"|
     // "write"}): a firing rule closes the connection at that point, the
-    // way a dying front end would. Null = injection off.
+    // way a dying front end would. With reactors == 1 the site is the
+    // metrics instance (legacy drills unchanged); with more it is
+    // "<instance>/r<k>" so a drill can kill one reactor's sockets while
+    // its siblings keep serving. Null = injection off.
     fault::FaultInjector* faults = nullptr;
     // Registry + instance label for the nagano_http_* metrics.
     metrics::Options metrics;
@@ -66,37 +100,54 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Binds, listens, and starts the event-loop thread.
+  // Binds, listens, and starts the reactor threads.
   Status Start();
 
-  // Closes the listener and every connection, joins the loop. Idempotent.
+  // Closes the listeners and every connection, joins all reactors.
+  // Idempotent.
   void Stop();
 
   // The bound port (valid after Start()).
   uint16_t port() const { return port_; }
+  // Process-wide totals (all reactors).
   ServerStats stats() const;
+  // Requests served per reactor, index-ordered — the load-balance view the
+  // throughput bench reports.
+  std::vector<uint64_t> reactor_requests() const;
+  size_t reactors() const;
+  // The accept mode actually in effect after Start() (kAuto resolves).
+  AcceptMode accept_mode() const { return resolved_mode_; }
 
  private:
   struct Connection;
-  void Loop();
-  void AcceptNew();
-  void HandleReadable(Connection& conn);
-  void HandleWritable(Connection& conn);
-  void CloseConnection(int fd);
-  void SweepIdle(TimeNs now);
+  struct Reactor;
+
+  Status StartReusePort();
+  Status StartRoundRobin();
+  void ReactorLoop(Reactor& r);
+  void AcceptNew(Reactor& r, int listen_fd);
+  void AdoptConnection(Reactor& r, int fd);
+  void DrainHandoff(Reactor& r);
+  void HandleReadable(Reactor& r, Connection& conn);
+  void EnqueueResponse(Reactor& r, Connection& conn, HttpResponse&& response);
+  void HandleWritable(Reactor& r, Connection& conn);
+  void CloseConnection(Reactor& r, int fd);
+  void SweepIdle(Reactor& r, TimeNs now);
+  // The cached 1-second-granularity "Date: ...\r\n" line, refreshed per
+  // reactor so header assembly is an append of a span. Uses calendar time
+  // (time()), not the monotonic activity clock.
+  const std::string& DateLine(Reactor& r);
 
   Handler handler_;
   Options options_;
-  std::string instance_;  // fault-injection site name (== metrics label)
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
+  std::string instance_;  // metrics label (reactor sites derive from it)
   uint16_t port_ = 0;
-  std::thread loop_;
+  AcceptMode resolved_mode_ = AcceptMode::kRoundRobin;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::atomic<bool> running_{false};
 
-  // Connection table owned by the loop thread; counters are registry cells
-  // (lock-free reads) so the stats() accessor needs no lock.
+  // Server-wide counters are registry cells (lock-free increments from any
+  // reactor), so the stats() accessor needs no lock.
   metrics::Counter* connections_;
   metrics::Counter* connections_closed_;
   metrics::Counter* requests_;
@@ -105,8 +156,7 @@ class HttpServer {
   metrics::Counter* bytes_out_;
   metrics::Counter* keepalive_reuses_;
   metrics::Counter* idle_closed_;
-  struct Impl;
-  Impl* impl_ = nullptr;
+  metrics::Counter* body_copies_;
 };
 
 }  // namespace nagano::http

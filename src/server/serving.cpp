@@ -67,8 +67,12 @@ DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
 }
 
 void DynamicPageServer::AddStaticPage(std::string path, std::string body) {
+  auto obj = std::make_shared<cache::CachedObject>();
+  obj->body = std::move(body);
+  obj->entity_headers =
+      "Content-Length: " + std::to_string(obj->body.size()) + "\r\n";
   std::lock_guard<std::mutex> lock(static_mutex_);
-  static_pages_[std::move(path)] = std::move(body);
+  static_pages_[std::move(path)] = std::move(obj);
 }
 
 bool DynamicPageServer::ShouldCache(std::string_view path) const {
@@ -147,6 +151,8 @@ ServeOutcome DynamicPageServer::DegradeToStale(std::string_view path,
       out.cpu_cost = options_.costs.cached_dynamic;
       out.bytes = stale->body.size();
       out.stale_age = std::max<TimeNs>(0, clock_->Now() - stale->stored_at);
+      out.body_ref = cache::BodyRef(stale);
+      out.entity_headers = cache::EntityHeadersRef(stale);
       if (include_body) out.body = stale->body;
       return out;
     }
@@ -170,8 +176,10 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       static_hits_->Increment();
       out.cls = ServeClass::kStatic;
       out.cpu_cost = options_.costs.static_page;
-      out.bytes = it->second.size();
-      if (include_body) out.body = it->second;
+      out.bytes = it->second->body.size();
+      out.body_ref = cache::BodyRef(it->second);
+      out.entity_headers = cache::EntityHeadersRef(it->second);
+      if (include_body) out.body = it->second->body;
       return out;
     }
   }
@@ -185,6 +193,8 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       out.cls = ServeClass::kCacheHit;
       out.cpu_cost = options_.costs.cached_dynamic;
       out.bytes = cached.value()->body.size();
+      out.body_ref = cache::BodyRef(cached.value());
+      out.entity_headers = cache::EntityHeadersRef(cached.value());
       if (include_body) out.body = cached.value()->body;
       return out;
     }
@@ -199,7 +209,10 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       out.cls = ServeClass::kCacheMissGenerated;
       out.cpu_cost = options_.costs.generate_dynamic;
       out.bytes = body.value().size();
-      if (include_body) out.body = std::move(body).value();
+      // The freshly rendered page is ours to give away — moving it is free,
+      // so the body travels regardless of include_body (there is no shared
+      // copy the caller could reference instead).
+      out.body = std::move(body).value();
       return out;
     }
     if (body.status().code() != ErrorCode::kNotFound) {
@@ -308,15 +321,26 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
   }
   const TimeNs deadline =
       request_deadline_ > 0 ? clock_->Now() + request_deadline_ : 0;
+  // include_body=false: cached sources answer with body_ref/entity_headers
+  // aliased into the cached object (the zero-copy hit path); generated
+  // pages arrive moved into outcome.body either way.
   ServeOutcome outcome =
-      program_->Serve(request.Path(), /*include_body=*/true, deadline);
+      program_->Serve(request.Path(), /*include_body=*/false, deadline);
+  const auto fill_entity = [&request, &outcome](http::HttpResponse& r) {
+    if (request.method == "HEAD") return;  // keep Content-Length: 0
+    if (outcome.body_ref != nullptr) {
+      r.body_ref = std::move(outcome.body_ref);
+      r.header_ref = std::move(outcome.entity_headers);
+    } else {
+      r.body = std::move(outcome.body);
+    }
+  };
   switch (outcome.cls) {
     case ServeClass::kStatic:
     case ServeClass::kCacheHit:
     case ServeClass::kCacheMissGenerated: {
-      auto r = http::HttpResponse::Ok(request.method == "HEAD"
-                                          ? std::string()
-                                          : std::move(outcome.body));
+      auto r = http::HttpResponse::Ok(std::string());
+      fill_entity(r);
       r.headers["X-Cache"] =
           outcome.cls == ServeClass::kCacheHit ? "HIT"
           : outcome.cls == ServeClass::kStatic ? "STATIC"
@@ -327,9 +351,8 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
       // Last-known-good copy: still a 200 (the viewer gets a page, per the
       // paper's availability-first stance) but labeled so clients and tests
       // can tell.
-      auto r = http::HttpResponse::Ok(request.method == "HEAD"
-                                          ? std::string()
-                                          : std::move(outcome.body));
+      auto r = http::HttpResponse::Ok(std::string());
+      fill_entity(r);
       r.headers["X-Cache"] = "STALE";
       char age[32];
       std::snprintf(age, sizeof(age), "%.3f",

@@ -65,7 +65,18 @@ struct ServeOutcome {
   ServeClass cls = ServeClass::kNotFound;
   TimeNs cpu_cost = 0;    // modeled CPU charge
   size_t bytes = 0;       // response body size
-  std::string body;       // filled only when include_body was requested
+  // Owned body copy. Cached sources (static/hit/stale) fill it only when
+  // include_body was requested — the zero-copy HTTP path reads body_ref
+  // instead. Freshly generated pages always land here (moving them is
+  // free; there is no shared copy to reference).
+  std::string body;
+  // Zero-copy handles into the page's backing store, set whenever the
+  // source is ref-counted (static pages, cache hits, degraded stale):
+  // the entity bytes and the pre-serialized "Content-Length/..." header
+  // prefix. They alias the cached object, so the page stays alive until
+  // the last holder (e.g. an in-flight socket write) drops it.
+  std::shared_ptr<const std::string> body_ref;
+  std::shared_ptr<const std::string> entity_headers;
   uint32_t retries = 0;   // transparent retry attempts beyond the first
   TimeNs stale_age = 0;   // kDegradedStale: age of the copy served
   Status error;           // kError / kDegradedStale: what actually failed
@@ -180,8 +191,13 @@ class DynamicPageServer {
   class AccessLog* access_log_ = nullptr;
   const Clock* log_clock_ = nullptr;
 
+  // Static pages are stored as ref-counted CachedObjects (body + the same
+  // pre-serialized entity-header prefix the cache builds) so the serving
+  // path hands them out by reference exactly like a cache hit.
   std::mutex static_mutex_;
-  std::map<std::string, std::string, std::less<>> static_pages_;
+  std::map<std::string, std::shared_ptr<const cache::CachedObject>,
+           std::less<>>
+      static_pages_;
 
   std::mutex backoff_mutex_;
   Rng backoff_rng_;
@@ -238,6 +254,11 @@ class HttpFrontEnd {
   void Stop();
   uint16_t port() const { return server_->port(); }
   http::ServerStats http_stats() const { return server_->stats(); }
+  // Per-reactor request totals — the load-balance view (see
+  // HttpServer::reactor_requests).
+  std::vector<uint64_t> reactor_requests() const {
+    return server_->reactor_requests();
+  }
 
  private:
   http::HttpResponse Handle(const http::HttpRequest& request);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -336,13 +337,18 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup,
   } else {
     std::vector<std::vector<const odg::AffectedObject*>> levels(dup.num_levels);
     for (const auto& obj : dup.affected) levels[obj.level].push_back(&obj);
-    const size_t workers = pool_->num_threads();
+    // Clamp parallelism to the machine: a pool wider than the core count
+    // cannot render faster, it only shrinks chunks and adds dispatch churn.
+    const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    const size_t workers = std::min(pool_->num_threads(), hw);
     for (auto& level : levels) {
       std::sort(level.begin(), level.end(),
                 [](const odg::AffectedObject* a, const odg::AffectedObject* b) {
                   return a->id < b->id;
                 });
-      if (level.size() <= 1) {
+      if (workers <= 1 || level.size() <= 1 ||
+          level.size() <= options_.inline_render_cutover) {
         // Not worth a pool round-trip.
         for (const auto* obj : level) tally(regenerate(*obj));
         continue;

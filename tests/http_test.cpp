@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <ctime>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +72,54 @@ TEST(HttpMessageTest, SerializeSetsContentLength) {
   EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
   EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
   EXPECT_TRUE(wire.ends_with("\r\n12345"));
+}
+
+// --- zero-copy serialization -----------------------------------------------------
+
+TEST(HttpMessageTest, SerializeUsesBodyRef) {
+  HttpResponse r;
+  r.body_ref = std::make_shared<const std::string>("shared-entity-bytes");
+  const std::string wire = r.Serialize();
+  EXPECT_NE(wire.find("Content-Length: 19\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\nshared-entity-bytes"));
+  EXPECT_EQ(r.BodySize(), 19u);
+  EXPECT_EQ(&r.BodyView(), r.body_ref.get());
+}
+
+TEST(HttpMessageTest, SerializeUsesHeaderRefVerbatim) {
+  HttpResponse r;
+  r.body_ref = std::make_shared<const std::string>("abc");
+  r.header_ref = std::make_shared<const std::string>(
+      "Content-Length: 3\r\nX-Nagano-Version: 9\r\n");
+  const std::string wire = r.Serialize();
+  // Exactly one Content-Length — the one the prefix carries.
+  EXPECT_EQ(wire.find("Content-Length: 3\r\n"),
+            wire.rfind("Content-Length:"));
+  EXPECT_NE(wire.find("X-Nagano-Version: 9\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\nabc"));
+}
+
+TEST(HttpMessageTest, SerializeHeadersSplicesExtraLines) {
+  auto r = HttpResponse::Ok("hello");
+  std::string head;
+  r.SerializeHeaders(head, "Date: Thu, 06 Aug 2026 00:00:00 GMT\r\n");
+  EXPECT_TRUE(head.starts_with(
+      "HTTP/1.1 200 OK\r\nDate: Thu, 06 Aug 2026 00:00:00 GMT\r\n"));
+  EXPECT_NE(head.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_TRUE(head.ends_with("\r\n\r\n"));
+}
+
+TEST(HttpMessageTest, ReserializeDoesNotDuplicateContentLength) {
+  // A parsed response carries Content-Length in its header map; writing it
+  // back out must not emit a second copy.
+  ResponseParser parser;
+  ASSERT_TRUE(
+      parser.Feed("HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody").ok());
+  auto resp = parser.Next();
+  ASSERT_TRUE(resp.has_value());
+  const std::string wire = resp->Serialize();
+  EXPECT_EQ(wire.find("Content-Length:"), wire.rfind("Content-Length:"));
+  EXPECT_TRUE(wire.ends_with("\r\nbody"));
 }
 
 // --- parser ---------------------------------------------------------------------
@@ -335,6 +390,157 @@ TEST(HttpClientTest, ConnectToClosedPortFails) {
   auto resp = HttpClient::FetchOnce("127.0.0.1", 1, "/x");
   EXPECT_FALSE(resp.ok());
   EXPECT_EQ(resp.status().code(), ErrorCode::kUnavailable);
+}
+
+// --- multi-reactor serving -------------------------------------------------------
+
+HttpServer::Options ReactorOptions(size_t reactors, AcceptMode mode) {
+  HttpServer::Options options;
+  options.reactors = reactors;
+  options.accept_mode = mode;
+  return options;
+}
+
+HttpResponse RouteAb(const HttpRequest& req) {
+  if (req.Path() == "/a") return HttpResponse::Ok("alpha");
+  if (req.Path() == "/b") return HttpResponse::Ok("bravo");
+  return HttpResponse::NotFound();
+}
+
+// Two pipelined requests in one TCP segment; both responses must come back
+// in order on the same connection.
+void ExpectPipelinedPair(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string wire =
+      "GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /b HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  char buf[4096];
+  while (responses.size() < 2) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    ASSERT_TRUE(parser.Feed(std::string_view(buf, size_t(n))).ok());
+    while (auto r = parser.Next()) responses.push_back(*r);
+  }
+  ::close(fd);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].body, "alpha");
+  EXPECT_EQ(responses[1].body, "bravo");
+}
+
+TEST(MultiReactorTest, PipelinedPairAtEveryReactorCount) {
+  for (const size_t reactors : {size_t{1}, size_t{2}, size_t{8}}) {
+    HttpServer server(RouteAb,
+                      ReactorOptions(reactors, AcceptMode::kRoundRobin));
+    ASSERT_TRUE(server.Start().ok()) << "reactors=" << reactors;
+    // Several connections, so in round-robin mode the pair lands on
+    // different reactors across iterations.
+    for (int i = 0; i < 4; ++i) ExpectPipelinedPair(server.port());
+    server.Stop();
+  }
+}
+
+TEST(MultiReactorTest, PipelinedPairUnderReusePort) {
+  HttpServer server(RouteAb, ReactorOptions(4, AcceptMode::kAuto));
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 4; ++i) ExpectPipelinedPair(server.port());
+  server.Stop();
+}
+
+TEST(MultiReactorTest, RoundRobinDealsConnectionsEvenly) {
+  HttpServer server(RouteAb, ReactorOptions(4, AcceptMode::kRoundRobin));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.accept_mode(), AcceptMode::kRoundRobin);
+  EXPECT_EQ(server.reactors(), 4u);
+  // Eight sequential one-shot connections: the round-robin acceptor deals
+  // exactly two to each reactor.
+  for (int i = 0; i < 8; ++i) {
+    auto resp = HttpClient::FetchOnce("127.0.0.1", server.port(), "/a");
+    ASSERT_TRUE(resp.ok()) << i;
+    EXPECT_EQ(resp.value().body, "alpha");
+  }
+  const auto per_reactor = server.reactor_requests();
+  ASSERT_EQ(per_reactor.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t count : per_reactor) {
+    EXPECT_EQ(count, 2u);
+    total += count;
+  }
+  EXPECT_EQ(total, server.stats().requests_served);
+  server.Stop();
+}
+
+TEST(MultiReactorTest, AutoResolvesAndServes) {
+  HttpServer server(RouteAb, ReactorOptions(2, AcceptMode::kAuto));
+  ASSERT_TRUE(server.Start().ok());
+  // kAuto resolves to a concrete mode; either way the server must serve.
+  EXPECT_NE(server.accept_mode(), AcceptMode::kAuto);
+  auto resp = HttpClient::FetchOnce("127.0.0.1", server.port(), "/b");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "bravo");
+  server.Stop();
+}
+
+TEST(MultiReactorTest, ZeroReactorsRejected) {
+  HttpServer::Options options;
+  options.reactors = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(MultiReactorTest, BodyCopyCounterSeparatesRefsFromOwned) {
+  auto shared = std::make_shared<const std::string>("ref-counted-page");
+  HttpServer server(
+      [shared](const HttpRequest& req) {
+        if (req.Path() == "/ref") {
+          HttpResponse r;
+          r.body_ref = shared;
+          return r;
+        }
+        return HttpResponse::Ok("owned-body");
+      },
+      HttpServer::Options());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client.Get("/ref");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.value().body, "ref-counted-page");
+  }
+  // A reference-served body is never materialized into the write path.
+  EXPECT_EQ(server.stats().body_copies, 0u);
+  auto owned = client.Get("/owned");
+  ASSERT_TRUE(owned.ok());
+  EXPECT_EQ(owned.value().body, "owned-body");
+  EXPECT_EQ(server.stats().body_copies, 1u);
+  server.Stop();
+}
+
+TEST(MultiReactorTest, ResponsesCarryDateHeader) {
+  HttpServer server(RouteAb, HttpServer::Options());
+  ASSERT_TRUE(server.Start().ok());
+  auto resp = HttpClient::FetchOnce("127.0.0.1", server.port(), "/a");
+  ASSERT_TRUE(resp.ok());
+  auto it = resp.value().headers.find("Date");
+  ASSERT_NE(it, resp.value().headers.end());
+  EXPECT_TRUE(it->second.ends_with(" GMT"));
+  // Calendar time, not monotonic uptime rendered as an epoch date.
+  tm now_utc{};
+  const time_t now = ::time(nullptr);
+  gmtime_r(&now, &now_utc);
+  EXPECT_NE(it->second.find(std::to_string(1900 + now_utc.tm_year)),
+            std::string::npos)
+      << it->second;
+  server.Stop();
 }
 
 }  // namespace
