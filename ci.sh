@@ -5,7 +5,8 @@
 # and the `durability` WAL/recovery suites under ASan/UBSan.
 #
 #   ./ci.sh            # run the whole matrix
-#   ./ci.sh plain      # run a single leg: plain | asan | tsan | chaos | durability
+#   ./ci.sh plain      # one leg: plain | asan | tsan | chaos | durability
+#                      #          | throughput | flashcrowd
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -56,6 +57,26 @@ leg_chaos() {
 # paths, under ASan/UBSan — heap misuse in the framing/replay code is
 # exactly what a torn-tail bug would look like. Shares the asan tree.
 leg_durability() { run_leg asan "address,undefined" "-L durability"; }
+# Flash-crowd leg: the stampede/scenario/admission suites raced under TSan
+# (the coalescing fast path is pure lock/cv choreography — a race there is
+# a correctness bug, not noise), then the FLASH bench's quick gate against
+# the committed BENCH_flashcrowd.json: coalescing must still cut
+# renders-per-invalidation-storm >= 10x at >= 99.9% availability, and the
+# 50x-spike p99 must stay within 3x of the baseline. Shares the tsan and
+# plain trees.
+leg_flashcrowd() {
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_leg tsan "thread" "-L flashcrowd"
+  local tree="build-ci-plain"
+  echo "=== [flashcrowd] configure ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="" > /dev/null
+  echo "=== [flashcrowd] build ==="
+  cmake --build "${tree}" -j "${JOBS}" --target flash_crowd -- -k > /dev/null
+  echo "=== [flashcrowd] smoke gate vs BENCH_flashcrowd.json ==="
+  "${tree}/bench/flash_crowd" --quick --baseline=BENCH_flashcrowd.json
+  echo "=== [flashcrowd] OK ==="
+}
 # Throughput smoke: one short cache-hit sweep against the committed
 # baseline (BENCH_throughput.json). The bench exits non-zero if the
 # single-reactor hit rate regresses more than 20% below the baseline or
@@ -80,7 +101,9 @@ case "${1:-all}" in
   chaos) leg_chaos ;;
   durability) leg_durability ;;
   throughput) leg_throughput ;;
-  all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability; leg_throughput ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|all]" >&2; exit 2 ;;
+  flashcrowd) leg_flashcrowd ;;
+  all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability
+         leg_throughput; leg_flashcrowd ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

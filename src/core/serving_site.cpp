@@ -126,6 +126,8 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
   serve_options.retry = site->options_.retry;
   serve_options.default_deadline = site->options_.default_deadline;
   serve_options.serve_stale_on_error = site->options_.serve_stale_on_error;
+  serve_options.coalesce_renders = site->options_.coalesce_renders;
+  serve_options.max_concurrent_renders = site->options_.max_concurrent_renders;
   serve_options.clock = site->clock_;
   serve_options.metrics = site_metrics;
   site->page_server_ = std::make_unique<server::DynamicPageServer>(

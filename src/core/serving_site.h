@@ -59,6 +59,11 @@ struct SiteOptions : OptionsBase {
   server::RetryOptions retry;
   TimeNs default_deadline = 0;      // 0 = unbounded
   bool serve_stale_on_error = true;
+  // Stampede defenses (server/serving.h): single-flight coalescing of
+  // concurrent same-key misses, and a bound on renders in flight (0 = no
+  // admission control).
+  bool coalesce_renders = true;
+  size_t max_concurrent_renders = 0;
   // Registry + "site" label shared by every subsystem this site builds
   // (cache, trigger, renderer, serving path, ODG, database, access log).
   // An empty instance label keeps auto-assignment per subsystem, so test

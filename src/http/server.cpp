@@ -10,6 +10,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <ctime>
@@ -90,8 +91,11 @@ struct HttpServer::Connection {
   size_t front_offset = 0;
   uint64_t served = 0;       // requests answered on this connection
   TimeNs last_activity = 0;  // wall clock; drives the idle sweep
+  size_t pending = 0;        // queued output bytes not yet written
   bool close_after_flush = false;
   bool want_write = false;
+  // Write-stall guard tripped: EPOLLIN is off until the queue drains.
+  bool read_paused = false;
 };
 
 struct HttpServer::Reactor {
@@ -161,6 +165,10 @@ HttpServer::HttpServer(Handler handler, Options options)
   idle_closed_ = scope.GetCounter(
       "nagano_http_idle_closed_total",
       "connections reaped by the idle sweep (slow-loris defense)");
+  write_stalls_ = scope.GetCounter(
+      "nagano_http_write_stalls_total",
+      "connections paused for exceeding max_pending_write_bytes "
+      "(slow-client defense)");
   body_copies_ = scope.GetCounter(
       "nagano_http_body_copies_total",
       "response bodies materialized into the write path instead of served "
@@ -433,6 +441,7 @@ void HttpServer::EnqueueResponse(Reactor& r, Connection& conn,
                                  HttpResponse&& response) {
   OutChunk head;
   response.SerializeHeaders(head.owned, DateLine(r));
+  conn.pending += head.owned.size();
   conn.out.push_back(std::move(head));
   if (response.body_ref != nullptr) {
     // Zero-copy: the queue holds a reference into the cached entity; the
@@ -441,14 +450,24 @@ void HttpServer::EnqueueResponse(Reactor& r, Connection& conn,
     if (!response.body_ref->empty()) {
       OutChunk body;
       body.ref = std::move(response.body_ref);
+      conn.pending += body.ref->size();
       conn.out.push_back(std::move(body));
     }
   } else if (!response.body.empty()) {
     body_copies_->Increment();
     OutChunk body;
     body.owned = std::move(response.body);
+    conn.pending += body.owned.size();
     conn.out.push_back(std::move(body));
   }
+}
+
+void HttpServer::UpdateEpollMask(Reactor& r, Connection& conn) {
+  epoll_event ev{};
+  ev.events = (conn.read_paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn.want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 void HttpServer::HandleReadable(Reactor& r, Connection& conn) {
@@ -484,7 +503,21 @@ void HttpServer::HandleReadable(Reactor& r, Connection& conn) {
     return;
   }
 
-  while (auto request = conn.parser.Next()) {
+  ProcessParsedRequests(r, conn);
+  if (!conn.out.empty()) HandleWritable(r, conn);
+}
+
+bool HttpServer::ProcessParsedRequests(Reactor& r, Connection& conn) {
+  const size_t cap = options_.max_pending_write_bytes;
+  bool any = false;
+  while (!conn.close_after_flush) {
+    // Bounded output queue: once a slow client has a cap's worth of
+    // unflushed responses, stop answering its pipeline — the remaining
+    // parsed requests wait until the queue drains (HandleWritable resumes
+    // us after the flush).
+    if (cap > 0 && conn.pending > cap) break;
+    auto request = conn.parser.Next();
+    if (!request) break;
     requests_->Increment();
     r.requests->Increment();
     if (conn.served++ > 0) keepalive_reuses_->Increment();
@@ -494,9 +527,9 @@ void HttpServer::HandleReadable(Reactor& r, Connection& conn) {
       conn.close_after_flush = true;
     }
     EnqueueResponse(r, conn, std::move(response));
-    if (conn.close_after_flush) break;
+    any = true;
   }
-  if (!conn.out.empty()) HandleWritable(r, conn);
+  return any;
 }
 
 void HttpServer::HandleWritable(Reactor& r, Connection& conn) {
@@ -507,71 +540,89 @@ void HttpServer::HandleWritable(Reactor& r, Connection& conn) {
   }
   conn.last_activity = RealClock::Instance().Now();
   constexpr int kMaxIov = 16;
-  while (!conn.out.empty()) {
-    iovec iov[kMaxIov];
-    int niov = 0;
-    size_t idx = 0;
-    for (auto it = conn.out.begin(); it != conn.out.end() && niov < kMaxIov;
-         ++it, ++idx) {
-      const char* base = it->data();
-      size_t len = it->size();
-      if (idx == 0) {
-        base += conn.front_offset;
-        len -= conn.front_offset;
-      }
-      if (len == 0) continue;
-      iov[niov].iov_base = const_cast<char*>(base);
-      iov[niov].iov_len = len;
-      ++niov;
-    }
-    if (niov == 0) {  // only empty chunks left
-      conn.out.clear();
-      conn.front_offset = 0;
-      break;
-    }
-    const ssize_t n = ::writev(conn.fd, iov, niov);
-    if (n > 0) {
-      bytes_out_->Increment(static_cast<uint64_t>(n));
-      size_t written = static_cast<size_t>(n);
-      while (written > 0 && !conn.out.empty()) {
-        const size_t remain = conn.out.front().size() - conn.front_offset;
-        if (written >= remain) {
-          written -= remain;
-          conn.out.pop_front();
-          conn.front_offset = 0;
-        } else {
-          conn.front_offset += written;
-          written = 0;
+  for (;;) {
+    while (!conn.out.empty()) {
+      iovec iov[kMaxIov];
+      int niov = 0;
+      size_t idx = 0;
+      for (auto it = conn.out.begin(); it != conn.out.end() && niov < kMaxIov;
+           ++it, ++idx) {
+        const char* base = it->data();
+        size_t len = it->size();
+        if (idx == 0) {
+          base += conn.front_offset;
+          len -= conn.front_offset;
         }
+        if (len == 0) continue;
+        iov[niov].iov_base = const_cast<char*>(base);
+        iov[niov].iov_len = len;
+        ++niov;
       }
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      if (!conn.want_write) {
+      if (niov == 0) {  // only empty chunks left
+        conn.out.clear();
+        conn.front_offset = 0;
+        conn.pending = 0;
+        break;
+      }
+      const ssize_t n = ::writev(conn.fd, iov, niov);
+      if (n > 0) {
+        bytes_out_->Increment(static_cast<uint64_t>(n));
+        size_t written = static_cast<size_t>(n);
+        conn.pending -= std::min(conn.pending, written);
+        while (written > 0 && !conn.out.empty()) {
+          const size_t remain = conn.out.front().size() - conn.front_offset;
+          if (written >= remain) {
+            written -= remain;
+            conn.out.pop_front();
+            conn.front_offset = 0;
+          } else {
+            conn.front_offset += written;
+            written = 0;
+          }
+        }
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The socket buffer is full — the client is not draining. Arm
+        // EPOLLOUT, and when the backlog has crossed the write-stall cap,
+        // pause reads too: no new requests are answered for this
+        // connection until the queue flushes. A flooder that never drains
+        // stops earning activity credit and the idle sweep reaps it.
+        const bool was_write = conn.want_write;
+        const bool was_paused = conn.read_paused;
         conn.want_write = true;
-        epoll_event ev{};
-        ev.events = EPOLLIN | EPOLLOUT;
-        ev.data.fd = conn.fd;
-        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+        const size_t cap = options_.max_pending_write_bytes;
+        if (cap > 0 && !conn.read_paused && conn.pending > cap) {
+          conn.read_paused = true;
+          write_stalls_->Increment();
+        }
+        if (conn.want_write != was_write || conn.read_paused != was_paused) {
+          UpdateEpollMask(r, conn);
+        }
+        return;
       }
+      if (errno == EINTR) continue;
+      CloseConnection(r, conn.fd);
       return;
     }
-    if (errno == EINTR) continue;
-    CloseConnection(r, conn.fd);
+    // Fully flushed.
+    conn.front_offset = 0;
+    conn.pending = 0;
+    if (conn.close_after_flush) {
+      CloseConnection(r, conn.fd);
+      return;
+    }
+    const bool was_paused = conn.read_paused;
+    if (conn.want_write || conn.read_paused) {
+      conn.want_write = false;
+      conn.read_paused = false;
+      UpdateEpollMask(r, conn);
+    }
+    // Requests parsed while the stall guard held reads shut are still
+    // waiting; answer them now that the queue is empty and go around for
+    // another flush.
+    if (was_paused && ProcessParsedRequests(r, conn)) continue;
     return;
-  }
-  // Fully flushed.
-  conn.front_offset = 0;
-  if (conn.close_after_flush) {
-    CloseConnection(r, conn.fd);
-    return;
-  }
-  if (conn.want_write) {
-    conn.want_write = false;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = conn.fd;
-    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
   }
 }
 
@@ -591,6 +642,7 @@ ServerStats HttpServer::stats() const {
   s.bytes_out = bytes_out_->value();
   s.keepalive_reuses = keepalive_reuses_->value();
   s.idle_closed = idle_closed_->value();
+  s.write_stalls = write_stalls_->value();
   s.body_copies = body_copies_->value();
   return s;
 }

@@ -42,6 +42,9 @@ struct ServerStats {
   uint64_t keepalive_reuses = 0;
   // Connections reaped by the idle sweep (slow-loris defense).
   uint64_t idle_closed = 0;
+  // Times a connection's pending output crossed max_pending_write_bytes and
+  // its reads were paused until the queue drained (slow-client defense).
+  uint64_t write_stalls = 0;
   // Response bodies materialized (copied/assembled) into the write path
   // instead of served by shared reference. Zero on a cache-hit-only run —
   // the proof obligation of the zero-copy hit path.
@@ -80,6 +83,14 @@ class HttpServer {
     // the slow-loris defense: a client that trickles bytes or never
     // completes a request cannot hold a connection slot forever.
     TimeNs idle_timeout = 0;
+    // Slow-client write-stall guard: when a connection's queued output
+    // exceeds this many bytes (the client is not draining its socket), stop
+    // reading — and thus answering — that connection until the queue
+    // flushes. The client feels TCP backpressure; the reactor keeps its
+    // memory bounded and its cycles for clients that actually read. While
+    // paused the connection earns no activity credit, so a flooder that
+    // never drains is eventually reaped by the idle sweep. 0 = unbounded.
+    size_t max_pending_write_bytes = 0;
     // Consulted on the socket paths ({"http", <site>, "accept"|"read"|
     // "write"}): a firing rule closes the connection at that point, the
     // way a dying front end would. With reactors == 1 the site is the
@@ -129,8 +140,14 @@ class HttpServer {
   void AdoptConnection(Reactor& r, int fd);
   void DrainHandoff(Reactor& r);
   void HandleReadable(Reactor& r, Connection& conn);
+  // Answers every fully parsed request queued on the connection, stopping
+  // early once pending output exceeds the write-stall cap. Returns true if
+  // anything was enqueued.
+  bool ProcessParsedRequests(Reactor& r, Connection& conn);
   void EnqueueResponse(Reactor& r, Connection& conn, HttpResponse&& response);
   void HandleWritable(Reactor& r, Connection& conn);
+  // Re-arms the connection's epoll mask from want_write + read_paused.
+  void UpdateEpollMask(Reactor& r, Connection& conn);
   void CloseConnection(Reactor& r, int fd);
   void SweepIdle(Reactor& r, TimeNs now);
   // The cached 1-second-granularity "Date: ...\r\n" line, refreshed per
@@ -156,6 +173,7 @@ class HttpServer {
   metrics::Counter* bytes_out_;
   metrics::Counter* keepalive_reuses_;
   metrics::Counter* idle_closed_;
+  metrics::Counter* write_stalls_;
   metrics::Counter* body_copies_;
 };
 

@@ -64,6 +64,24 @@ DynamicPageServer::DynamicPageServer(cache::ObjectCache* cache,
   deadline_exceeded_ =
       scope.GetCounter("nagano_serve_deadline_exceeded_total",
                        "retry budgets cut short by the request deadline");
+  coalesced_ = scope.GetCounter(
+      "nagano_serve_coalesced_total",
+      "requests that joined another request's in-flight render");
+  coalesce_timeouts_ = scope.GetCounter(
+      "nagano_serve_coalesce_timeout_total",
+      "coalesced waiters whose own deadline expired before the render");
+  shed_ = scope.GetCounter(
+      "nagano_serve_shed_total",
+      "requests rejected by admission control (no stale copy to soften to)");
+  shed_softened_ = scope.GetCounter(
+      "nagano_serve_shed_softened_total",
+      "admission-control sheds answered with the last-known-good stale copy");
+  renders_cancelled_ = scope.GetCounter(
+      "nagano_serve_renders_cancelled_total",
+      "coalesced renders abandoned after every participant's deadline expired");
+  coalesce_wait_ms_ = scope.GetHistogram(
+      "nagano_serve_coalesce_wait_ms",
+      "time a coalesced waiter spent blocked on the shared render");
 }
 
 void DynamicPageServer::AddStaticPage(std::string path, std::string body) {
@@ -102,7 +120,8 @@ ServeOutcome DynamicPageServer::Serve(std::string_view path, bool include_body,
 
 Result<std::string> DynamicPageServer::GenerateWithRetry(std::string_view path,
                                                          TimeNs deadline,
-                                                         uint32_t* retries) {
+                                                         uint32_t* retries,
+                                                         Flight* flight) {
   const RetryOptions& retry = options_.retry;
   TimeNs backoff = retry.initial_backoff;
   Status last = InternalError("no attempt made");
@@ -123,8 +142,18 @@ Result<std::string> DynamicPageServer::GenerateWithRetry(std::string_view path,
           1.0 - retry.jitter + 2.0 * retry.jitter * backoff_rng_.NextDouble();
       pause = static_cast<TimeNs>(static_cast<double>(pause) * scale);
     }
-    if (deadline != 0 && clock_->Now() + pause >= deadline) {
+    // A coalesced flight's horizon may have grown since the last attempt
+    // (new waiters joined) — refresh it before deciding whether to go on.
+    // When the horizon has passed, every participant's deadline has
+    // expired: the render is abandoned, not just this request's budget.
+    TimeNs effective = deadline;
+    if (flight != nullptr) {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      effective = flight->unbounded ? 0 : flight->horizon;
+    }
+    if (effective != 0 && clock_->Now() + pause >= effective) {
       deadline_exceeded_->Increment();
+      if (flight != nullptr) renders_cancelled_->Increment();
       break;
     }
     if (options_.sleep_on_backoff && pause > 0) {
@@ -160,6 +189,210 @@ ServeOutcome DynamicPageServer::DegradeToStale(std::string_view path,
   errors_->Increment();
   out.cls = ServeClass::kError;
   out.cpu_cost = options_.costs.not_found;
+  return out;
+}
+
+bool DynamicPageServer::TryAdmitRender() {
+  const size_t limit = options_.max_concurrent_renders;
+  if (limit == 0) {
+    active_renders_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  size_t current = active_renders_.load(std::memory_order_relaxed);
+  while (current < limit) {
+    if (active_renders_.compare_exchange_weak(current, current + 1,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DynamicPageServer::ReleaseRender() {
+  active_renders_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ServeOutcome DynamicPageServer::Shed(std::string_view path, bool include_body,
+                                     Status why) {
+  ServeOutcome out;
+  // Stale-if-error beats rejection: a viewer with a slightly old page is
+  // better off than a viewer with a 503 (the paper's availability-first
+  // stance, extended to overload).
+  if (options_.serve_stale_on_error) {
+    if (auto stale = cache_->LookupStale(path)) {
+      stale_serves_->Increment();
+      shed_softened_->Increment();
+      out.cls = ServeClass::kDegradedStale;
+      out.cpu_cost = options_.costs.cached_dynamic;
+      out.bytes = stale->body.size();
+      out.stale_age = std::max<TimeNs>(0, clock_->Now() - stale->stored_at);
+      out.body_ref = cache::BodyRef(stale);
+      out.entity_headers = cache::EntityHeadersRef(stale);
+      out.error = std::move(why);
+      if (include_body) out.body = stale->body;
+      return out;
+    }
+  }
+  shed_->Increment();
+  out.cls = ServeClass::kRejected;
+  out.cpu_cost = options_.costs.not_found;
+  out.error = std::move(why);
+  // Retry after roughly one render's worth of queue drain.
+  out.retry_after = options_.costs.generate_dynamic;
+  return out;
+}
+
+void DynamicPageServer::CountAdopted(const ServeOutcome& outcome) {
+  switch (outcome.cls) {
+    case ServeClass::kStatic:
+      static_hits_->Increment();
+      break;
+    case ServeClass::kCacheHit:
+      cache_hits_->Increment();
+      break;
+    case ServeClass::kCacheMissGenerated:
+      cache_misses_->Increment();
+      break;
+    case ServeClass::kDegradedStale:
+      stale_serves_->Increment();
+      break;
+    case ServeClass::kNotFound:
+      not_found_->Increment();
+      break;
+    case ServeClass::kError:
+      errors_->Increment();
+      break;
+    case ServeClass::kRejected:
+      shed_->Increment();
+      break;
+  }
+}
+
+ServeOutcome DynamicPageServer::RenderCoalesced(std::string_view path,
+                                                bool include_body,
+                                                TimeNs deadline) {
+  std::string key(path);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      // Join the in-flight render; our deadline extends its horizon.
+      flight = it->second;
+      std::lock_guard<std::mutex> flight_lock(flight->mutex);
+      if (deadline == 0) {
+        flight->unbounded = true;
+      } else {
+        flight->horizon = std::max(flight->horizon, deadline);
+      }
+    } else if (TryAdmitRender()) {
+      flight = std::make_shared<Flight>();
+      if (deadline == 0) {
+        flight->unbounded = true;
+      } else {
+        flight->horizon = deadline;
+      }
+      flights_.emplace(std::move(key), flight);
+      leader = true;
+    }
+  }
+  if (flight == nullptr) {
+    return Shed(path, include_body,
+                ResourceExhaustedError("render queue full"));
+  }
+  if (leader) return LeadRender(path, include_body, deadline, flight.get());
+  return AwaitFlight(flight, path, include_body, deadline);
+}
+
+ServeOutcome DynamicPageServer::LeadRender(std::string_view path,
+                                           bool include_body, TimeNs deadline,
+                                           Flight* flight) {
+  ServeOutcome out;
+  auto body = GenerateWithRetry(path, deadline, &out.retries, flight);
+  ReleaseRender();
+  if (body.ok()) {
+    cache_misses_->Increment();
+    out.cls = ServeClass::kCacheMissGenerated;
+    out.cpu_cost = options_.costs.generate_dynamic;
+    out.bytes = body.value().size();
+    // Serve by reference: RenderAndCache just stored the page, so alias the
+    // cached object and the whole fan-out — leader, waiters, and the HTTP
+    // write path — shares one ref-counted copy (misses are zero-copy too).
+    if (auto cached = cache_->Peek(path)) {
+      out.body_ref = cache::BodyRef(cached);
+      out.entity_headers = cache::EntityHeadersRef(cached);
+    } else {
+      // A concurrent invalidation dropped the entry between store and
+      // publish: wrap the rendered body so the fan-out still shares refs.
+      auto owned =
+          std::make_shared<const std::string>(std::move(body).value());
+      auto headers = std::make_shared<const std::string>(
+          "Content-Length: " + std::to_string(owned->size()) + "\r\n");
+      out.body_ref = std::move(owned);
+      out.entity_headers = std::move(headers);
+    }
+  } else if (body.status().code() == ErrorCode::kNotFound) {
+    not_found_->Increment();
+    out.cls = ServeClass::kNotFound;
+    out.cpu_cost = options_.costs.not_found;
+  } else {
+    const uint32_t retries = out.retries;
+    out = DegradeToStale(path, include_body, body.status());
+    out.retries = retries;
+  }
+  // Publish: drop the map entry first so post-completion arrivals start
+  // fresh (they normally just hit the cache), then wake the waiters.
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    flights_.erase(std::string(path));
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(flight->mutex);
+    ServeOutcome shared = out;
+    shared.body.clear();  // waiters copy from body_ref only if asked to
+    flight->outcome = std::move(shared);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (include_body && out.body.empty() && out.body_ref != nullptr) {
+    out.body = *out.body_ref;
+  }
+  return out;
+}
+
+ServeOutcome DynamicPageServer::AwaitFlight(
+    const std::shared_ptr<Flight>& flight, std::string_view path,
+    bool include_body, TimeNs deadline) {
+  coalesced_->Increment();
+  const TimeNs wait_start = clock_->Now();
+  bool timed_out = false;
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  while (!flight->done) {
+    if (deadline != 0 && clock_->Now() >= deadline) {
+      timed_out = true;
+      break;
+    }
+    // Slice the wait so a deadline (possibly on a clock nobody notifies
+    // about) is noticed promptly; publication wakes us via notify_all.
+    flight->cv.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  ServeOutcome out;
+  if (!timed_out) {
+    out = flight->outcome;  // body empty; the refs are shared
+    lock.unlock();
+    CountAdopted(out);
+    if (include_body && out.body_ref != nullptr) out.body = *out.body_ref;
+  } else {
+    lock.unlock();
+    coalesce_timeouts_->Increment();
+    out = DegradeToStale(
+        path, include_body,
+        UnavailableError("coalesced render missed the request deadline"));
+  }
+  out.coalesced = true;
+  coalesce_wait_ms_->Observe(
+      static_cast<double>(clock_->Now() - wait_start) / 1e6);
   return out;
 }
 
@@ -203,7 +436,25 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
   // 3. Generate (and usually cache) the page, retrying transient failures
   // within the deadline.
   if (renderer_->CanGenerate(path)) {
+    // Deadline-aware early rejection: when admission control is on and the
+    // budget is already spent, shed now instead of burning a render slot on
+    // a response nobody can use.
+    if (options_.max_concurrent_renders > 0 && deadline != 0 &&
+        clock_->Now() >= deadline) {
+      return Shed(path, include_body,
+                  UnavailableError("deadline spent before render started"));
+    }
+    if (options_.coalesce_renders && ShouldCache(path)) {
+      return RenderCoalesced(path, include_body, deadline);
+    }
+    // Uncoalesced render (coalescing off, or a personalized never-cache
+    // page): every request renders for itself but still holds a slot.
+    if (!TryAdmitRender()) {
+      return Shed(path, include_body,
+                  ResourceExhaustedError("render queue full"));
+    }
     auto body = GenerateWithRetry(path, deadline, &out.retries);
+    ReleaseRender();
     if (body.ok()) {
       cache_misses_->Increment();
       out.cls = ServeClass::kCacheMissGenerated;
@@ -241,6 +492,11 @@ ServeStats DynamicPageServer::stats() const {
   s.stale_serves = stale_serves_->value();
   s.retries = retries_->value();
   s.deadline_exceeded = deadline_exceeded_->value();
+  s.coalesced = coalesced_->value();
+  s.coalesce_timeouts = coalesce_timeouts_->value();
+  s.shed = shed_->value();
+  s.shed_softened = shed_softened_->value();
+  s.renders_cancelled = renders_cancelled_->value();
   return s;
 }
 
@@ -345,6 +601,7 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
           outcome.cls == ServeClass::kCacheHit ? "HIT"
           : outcome.cls == ServeClass::kStatic ? "STATIC"
                                                : "MISS";
+      if (outcome.coalesced) r.headers["X-Nagano-Coalesced"] = "1";
       return r;
     }
     case ServeClass::kDegradedStale: {
@@ -358,12 +615,22 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
       std::snprintf(age, sizeof(age), "%.3f",
                     static_cast<double>(outcome.stale_age) / 1e9);
       r.headers["X-Nagano-Stale"] = age;
+      if (outcome.coalesced) r.headers["X-Nagano-Coalesced"] = "1";
       return r;
     }
     case ServeClass::kNotFound:
       return http::HttpResponse::NotFound();
     case ServeClass::kError:
       return http::HttpResponse::ServerError();
+    case ServeClass::kRejected: {
+      // Shed by admission control: tell the client when the render queue
+      // should have drained enough to be worth another try.
+      auto r = http::HttpResponse::ServiceUnavailable("overloaded\n");
+      const TimeNs hint = std::max<TimeNs>(outcome.retry_after, 1);
+      r.headers["Retry-After"] =
+          std::to_string((hint + kSecond - 1) / kSecond);
+      return r;
+    }
   }
   return http::HttpResponse::ServerError("unreachable");
 }

@@ -19,6 +19,8 @@
 // node, and the THRU bench measures the real cost too.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -26,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/object_cache.h"
@@ -59,6 +62,10 @@ enum class ServeClass : uint8_t {
   kDegradedStale,
   kNotFound,
   kError,
+  // Shed by admission control: the render queue was full (or the deadline
+  // already spent) and no last-known-good copy existed to degrade to. HTTP
+  // layer answers 503 with a Retry-After hint.
+  kRejected,
 };
 
 struct ServeOutcome {
@@ -79,7 +86,15 @@ struct ServeOutcome {
   std::shared_ptr<const std::string> entity_headers;
   uint32_t retries = 0;   // transparent retry attempts beyond the first
   TimeNs stale_age = 0;   // kDegradedStale: age of the copy served
-  Status error;           // kError / kDegradedStale: what actually failed
+  Status error;           // kError / kDegradedStale / kRejected: what failed
+  // This request joined another request's in-flight render instead of
+  // running its own (single-flight coalescing). The body_ref it carries is
+  // the same ref-counted object every other participant got.
+  bool coalesced = false;
+  // kRejected: how long the client should back off before retrying —
+  // roughly one render's worth of queue drain. HttpFrontEnd rounds it up
+  // into the Retry-After header.
+  TimeNs retry_after = 0;
 };
 
 struct ServeStats {
@@ -91,10 +106,15 @@ struct ServeStats {
   uint64_t stale_serves = 0;        // degraded last-known-good responses
   uint64_t retries = 0;             // backoff retries taken
   uint64_t deadline_exceeded = 0;   // retry budgets cut short by a deadline
+  uint64_t coalesced = 0;           // requests that joined an in-flight render
+  uint64_t coalesce_timeouts = 0;   // waiters whose own deadline expired first
+  uint64_t shed = 0;                // kRejected responses (admission control)
+  uint64_t shed_softened = 0;       // sheds answered stale instead of 503
+  uint64_t renders_cancelled = 0;   // renders abandoned: every waiter expired
 
   uint64_t total() const {
     return static_hits + cache_hits + cache_misses + not_found + errors +
-           stale_serves;
+           stale_serves + shed;
   }
   double CacheHitRate() const {
     const uint64_t dynamic = cache_hits + cache_misses;
@@ -136,6 +156,17 @@ class DynamicPageServer {
     // kError. Needs the cache constructed with retain_stale to also cover
     // invalidated entries.
     bool serve_stale_on_error = true;
+    // Single-flight render coalescing: when N requests miss on the same
+    // cacheable key concurrently, one render runs and every participant
+    // shares the resulting ref-counted body. Never applies to
+    // never_cache_prefixes pages (each one is personalized by definition).
+    bool coalesce_renders = true;
+    // Admission control: maximum renders in flight at once (coalesced
+    // flights count once, however many waiters share them). A miss that
+    // cannot start a render is shed — preferably softened to the
+    // last-known-good stale copy, else kRejected (HTTP 503 + Retry-After).
+    // 0 = unbounded (admission control off).
+    size_t max_concurrent_renders = 0;
     // Actually sleep the backoff schedule (live deployments). Off by
     // default so simulations and tests never block.
     bool sleep_on_backoff = false;
@@ -173,16 +204,58 @@ class DynamicPageServer {
   const CostModel& costs() const { return options_.costs; }
 
  private:
+  // One in-flight render that concurrent same-key misses attach to. The
+  // leader (the request that created the flight) renders; waiters block on
+  // `cv` and adopt the published outcome, whose body travels by body_ref so
+  // the whole fan-out shares one ref-counted copy.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ServeOutcome outcome;  // published by the leader; body via body_ref only
+    // Deadline horizon: the latest deadline across every participant. When
+    // the clock passes it (and no participant is unbounded) the leader
+    // abandons the render — nobody is left who could use the result.
+    TimeNs horizon = 0;
+    bool unbounded = false;  // some participant has no deadline
+  };
+
   ServeOutcome ServeInternal(std::string_view path, bool include_body,
                              TimeNs deadline);
   bool ShouldCache(std::string_view path) const;
-  // Generation with bounded retry; fills retries on the outcome.
+  // Generation with bounded retry; fills retries on the outcome. When
+  // `flight` is set, the retry schedule is bounded by the flight's deadline
+  // horizon (which waiters may extend) instead of the leader's own deadline.
   Result<std::string> GenerateWithRetry(std::string_view path, TimeNs deadline,
-                                        uint32_t* retries);
+                                        uint32_t* retries,
+                                        Flight* flight = nullptr);
   // The degraded fallback: last-known-good copy, or kError when there is
   // none (or the policy is off).
   ServeOutcome DegradeToStale(std::string_view path, bool include_body,
                               Status error);
+  // Admission-controlled render of a cacheable page: join an in-flight
+  // render as a waiter, or lead a new one. Returns the final outcome for
+  // this request (generated / degraded / rejected).
+  ServeOutcome RenderCoalesced(std::string_view path, bool include_body,
+                               TimeNs deadline);
+  // Leads one render (admission slot already held) and publishes the
+  // outcome to `flight` if non-null.
+  ServeOutcome LeadRender(std::string_view path, bool include_body,
+                          TimeNs deadline, Flight* flight);
+  // Blocks until the flight publishes, or this waiter's own deadline
+  // expires; adopts the shared outcome.
+  ServeOutcome AwaitFlight(const std::shared_ptr<Flight>& flight,
+                           std::string_view path, bool include_body,
+                           TimeNs deadline);
+  // Admission control: reserve/release one of max_concurrent_renders slots.
+  bool TryAdmitRender();
+  void ReleaseRender();
+  // Shed one request: soften to the last-known-good stale copy when
+  // possible, else kRejected with a Retry-After hint.
+  ServeOutcome Shed(std::string_view path, bool include_body, Status why);
+  // Bump the per-class counter for an outcome adopted from a flight (the
+  // leader's own counters were bumped when the outcome was produced).
+  void CountAdopted(const ServeOutcome& outcome);
 
   cache::ObjectCache* cache_;
   pagegen::PageRenderer* renderer_;
@@ -202,6 +275,14 @@ class DynamicPageServer {
   std::mutex backoff_mutex_;
   Rng backoff_rng_;
 
+  // In-flight renders by page key. Entries are removed before the outcome
+  // is published, so a request arriving after completion starts fresh (and
+  // normally just hits the cache).
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  // Renders currently running (leaders + uncoalesced), for admission.
+  std::atomic<size_t> active_renders_{0};
+
   // Registry cells behind the legacy stats() view.
   metrics::Counter* static_hits_;
   metrics::Counter* cache_hits_;
@@ -211,6 +292,12 @@ class DynamicPageServer {
   metrics::Counter* stale_serves_;
   metrics::Counter* retries_;
   metrics::Counter* deadline_exceeded_;
+  metrics::Counter* coalesced_;
+  metrics::Counter* coalesce_timeouts_;
+  metrics::Counter* shed_;
+  metrics::Counter* shed_softened_;
+  metrics::Counter* renders_cancelled_;
+  metrics::Histogram* coalesce_wait_ms_;
 };
 
 // One site-health verdict for /healthz: overall up/down plus the reasons a

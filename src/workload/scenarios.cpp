@@ -1,0 +1,168 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace nagano::workload {
+
+const char* ScenarioName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kBreakingNews:
+      return "breaking-news";
+    case ScenarioKind::kAuctionClose:
+      return "auction-close";
+    case ScenarioKind::kLeaderboardTick:
+      return "leaderboard-tick";
+    case ScenarioKind::kSlowClientFlood:
+      return "slow-client-flood";
+  }
+  return "unknown";
+}
+
+Status ScenarioOptions::Validate() const {
+  if (duration <= 0) {
+    return InvalidArgumentError("ScenarioOptions.duration must be > 0");
+  }
+  if (baseline_rps < 0) {
+    return InvalidArgumentError("ScenarioOptions.baseline_rps must be >= 0");
+  }
+  if (spike_multiplier < 1.0) {
+    return InvalidArgumentError(
+        "ScenarioOptions.spike_multiplier must be >= 1");
+  }
+  if (spike_start < 0 || spike_ramp < 0) {
+    return InvalidArgumentError(
+        "ScenarioOptions spike offsets must be >= 0");
+  }
+  if (spike_duration <= 0) {
+    return InvalidArgumentError("ScenarioOptions.spike_duration must be > 0");
+  }
+  if (hot_page.empty()) {
+    return InvalidArgumentError("ScenarioOptions.hot_page must be set");
+  }
+  if (invalidation_interval <= 0) {
+    return InvalidArgumentError(
+        "ScenarioOptions.invalidation_interval must be > 0");
+  }
+  if (slow_client_share < 0.0 || slow_client_share > 1.0) {
+    return InvalidArgumentError(
+        "ScenarioOptions.slow_client_share must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+ScenarioGenerator::ScenarioGenerator(const PageSampler* sampler,
+                                     ScenarioOptions options, uint64_t seed)
+    : sampler_(sampler),
+      options_((ValidateOrDie(options, "ScenarioOptions"), std::move(options))),
+      seed_(seed) {}
+
+double ScenarioGenerator::RateAt(ScenarioKind kind, TimeNs t) const {
+  const double peak = options_.baseline_rps * options_.spike_multiplier;
+  const double since = static_cast<double>(t - options_.spike_start);
+  const double dur = static_cast<double>(options_.spike_duration);
+  switch (kind) {
+    case ScenarioKind::kBreakingNews: {
+      // Linear ramp to the peak, then exponential decay with a time
+      // constant of a third of the spike duration — mostly dispersed by
+      // the window's end, the way a decided medal empties into the site.
+      if (t < options_.spike_start) return 0.0;
+      const double ramp = static_cast<double>(options_.spike_ramp);
+      if (ramp > 0 && since < ramp) return peak * (since / ramp);
+      const double decayed = since - ramp;
+      return peak * std::exp(-3.0 * decayed / dur);
+    }
+    case ScenarioKind::kAuctionClose: {
+      // Interest builds quadratically toward the close, peaks there, and
+      // drops to nothing the instant it passes.
+      if (t < options_.spike_start) return 0.0;
+      if (since >= dur) return 0.0;
+      const double x = since / dur;
+      return peak * x * x;
+    }
+    case ScenarioKind::kLeaderboardTick:
+      // A sustained plateau while the scoreboard ticks; every invalidation
+      // turns the whole plateau into a same-key miss herd.
+      if (t < options_.spike_start || since >= dur) return 0.0;
+      return peak;
+    case ScenarioKind::kSlowClientFlood:
+      // Flood connections at a share of the spike rate; the damage is in
+      // the sockets they never drain, not the request count.
+      if (t < options_.spike_start || since >= dur) return 0.0;
+      return peak * options_.slow_client_share;
+  }
+  return 0.0;
+}
+
+double ScenarioGenerator::PeakRate(ScenarioKind kind) const {
+  const double peak = options_.baseline_rps * options_.spike_multiplier;
+  return kind == ScenarioKind::kSlowClientFlood
+             ? peak * options_.slow_client_share
+             : peak;
+}
+
+std::vector<InvalidationTick> ScenarioGenerator::InvalidationSchedule() const {
+  std::vector<InvalidationTick> ticks;
+  const TimeNs end = options_.spike_start + options_.spike_duration;
+  for (TimeNs at = options_.spike_start; at < end;
+       at += options_.invalidation_interval) {
+    ticks.push_back({at, options_.hot_page});
+  }
+  return ticks;
+}
+
+std::vector<ScenarioRequest> ScenarioGenerator::Build(
+    ScenarioKind kind) const {
+  std::vector<ScenarioRequest> stream;
+  Rng rng(seed_);
+  Rng background_rng = rng.Fork();
+  Rng spike_rng = rng.Fork();
+  Rng page_rng = rng.Fork();
+
+  // Background: homogeneous Poisson over the site's normal popularity
+  // model. These are the viewers the flash crowd must not starve.
+  if (options_.baseline_rps > 0 && sampler_ != nullptr) {
+    const double mean_gap = 1e9 / options_.baseline_rps;
+    double t = background_rng.NextExponential(mean_gap);
+    while (t < static_cast<double>(options_.duration)) {
+      ScenarioRequest req;
+      req.at = static_cast<TimeNs>(t);
+      req.page = sampler_->Sample(page_rng);
+      stream.push_back(std::move(req));
+      t += background_rng.NextExponential(mean_gap);
+    }
+  }
+
+  // Hot-page process: inhomogeneous Poisson with rate RateAt, generated by
+  // thinning a homogeneous candidate stream at the peak rate.
+  const double bound = PeakRate(kind);
+  if (bound > 0) {
+    const double mean_gap = 1e9 / bound;
+    const bool slow = kind == ScenarioKind::kSlowClientFlood;
+    double t = static_cast<double>(options_.spike_start) +
+               spike_rng.NextExponential(mean_gap);
+    while (t < static_cast<double>(options_.duration)) {
+      const double accept = RateAt(kind, static_cast<TimeNs>(t)) / bound;
+      if (spike_rng.NextDouble() < accept) {
+        ScenarioRequest req;
+        req.at = static_cast<TimeNs>(t);
+        req.page = options_.hot_page;
+        req.slow_client = slow;
+        stream.push_back(std::move(req));
+      }
+      t += spike_rng.NextExponential(mean_gap);
+    }
+  }
+
+  // Deterministic total order — ties (same-nanosecond arrivals) break on
+  // page then population, so equal seeds give byte-identical streams.
+  std::sort(stream.begin(), stream.end(),
+            [](const ScenarioRequest& a, const ScenarioRequest& b) {
+              return std::tie(a.at, a.page, a.slow_client) <
+                     std::tie(b.at, b.page, b.slow_client);
+            });
+  return stream;
+}
+
+}  // namespace nagano::workload

@@ -64,6 +64,7 @@
 #include "wal/wal.h"
 #include "workload/feed.h"
 #include "workload/sampler.h"
+#include "workload/scenarios.h"
 
 namespace nagano {
 namespace {
@@ -492,6 +493,281 @@ TEST(ChaosRandomizedTest, RandomKillScheduleSurvives) {
   // Determinism holds for every seed, not just the scripted one.
   const ScenarioRun replay = RunScenario(config);
   EXPECT_EQ(run.transcript, replay.transcript);
+}
+
+// ---------------------------------------------------------------------------
+// Flash-crowd drill (ISSUE 6): a medal-decided breaking-news spike slams the
+// medals page at 50x baseline while the scoring feed keeps committing
+// (every commit an invalidation under the spike) — and mid-spike the
+// Nagano->Schaumburg feed link is cut, forcing the re-parent onto Tokyo.
+// The SLOs: availability >= 99% through the whole window, bounded
+// staleness (no degraded serve older than the paper's 60 s), caches
+// byte-fresh within 60 s of the last fault lifting, and the same seed
+// replaying byte-identically.
+// ---------------------------------------------------------------------------
+
+struct FlashCrowdRun {
+  std::string transcript;
+  double availability = 0.0;
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t hot_requests = 0;
+  uint64_t faults_injected = 0;
+  TimeNs max_stale_age = 0;  // oldest degraded-stale body served
+  bool converged = false;
+  size_t cache_objects_verified = 0;
+  TimeNs finished_at = 0;
+  TimeNs recovery_end = 0;
+};
+
+FlashCrowdRun RunFlashCrowdDrill(uint64_t seed) {
+  constexpr int kDurationS = 120;
+  FlashCrowdRun run;
+  char line[512];
+
+  SimClock clock;
+  metrics::MetricRegistry registry;
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  // The transpacific feed link dies right as the crowd peaks.
+  plan.rules.push_back(LinkCutRule("Schaumburg", "Nagano", 35, 65));
+  fault::FaultInjector faults(plan, &clock);
+  for (const fault::FaultRule& rule : plan.rules) {
+    if (rule.until != std::numeric_limits<TimeNs>::max()) {
+      run.recovery_end = std::max(run.recovery_end, rule.until);
+    }
+  }
+
+  pagegen::OlympicConfig content;
+  content.num_sports = 2;
+  content.events_per_sport = 2;
+  content.languages = {"en"};
+
+  db::DatabaseOptions master_options;
+  master_options.clock = &clock;
+  master_options.metrics.registry = &registry;
+  master_options.metrics.instance = "master";
+  auto master = std::make_unique<db::Database>(std::move(master_options));
+  if (!pagegen::OlympicSite::Build(content, master.get()).ok()) {
+    ADD_FAILURE() << "OlympicSite::Build failed";
+    return run;
+  }
+
+  replication::ReplicationOptions topo_options;
+  topo_options.clock = &clock;
+  topo_options.faults = &faults;
+  topo_options.metrics.registry = &registry;
+  topo_options.metrics.instance = "repl";
+  replication::ReplicationTopology topology(std::move(topo_options));
+  EXPECT_TRUE(topology.AddNode("Nagano", master.get()).ok());
+
+  std::map<std::string, std::unique_ptr<core::ServingSite>> sites;
+  for (const char* name : {"Tokyo", "Schaumburg"}) {
+    db::DatabaseOptions replica_options;
+    replica_options.clock = &clock;
+    replica_options.metrics.registry = &registry;
+    replica_options.metrics.instance = std::string(name) + "-db";
+    auto replica = std::make_unique<db::Database>(std::move(replica_options));
+    if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
+      ADD_FAILURE() << "CreateSchema failed for " << name;
+      return run;
+    }
+    db::Database* raw = replica.get();
+    core::SiteOptions site_options;
+    site_options.olympic = content;
+    site_options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+    site_options.trigger.worker_threads = 1;
+    site_options.clock = &clock;
+    site_options.faults = &faults;
+    site_options.retain_stale = true;
+    site_options.metrics.registry = &registry;
+    site_options.metrics.instance = name;
+    auto site_or = core::ServingSite::CreateAround(std::move(site_options),
+                                                   std::move(replica));
+    if (!site_or.ok()) {
+      ADD_FAILURE() << "CreateAround failed for " << name << ": "
+                    << site_or.status().message();
+      return run;
+    }
+    sites[name] = std::move(site_or.value());
+    EXPECT_TRUE(topology.AddNode(name, raw).ok());
+  }
+  EXPECT_TRUE(topology.SetFeed("Tokyo", "Nagano", FromMillis(40)).ok());
+  EXPECT_TRUE(topology.SetFeed("Schaumburg", "Nagano", FromMillis(130)).ok());
+  EXPECT_TRUE(topology.SetFailoverFeed("Schaumburg", "Tokyo").ok());
+
+  clock.Advance(kSecond);
+  topology.PumpUntilQuiet();
+  for (auto& [_, site] : sites) {
+    auto prefetched = site->PrefetchAll();
+    EXPECT_TRUE(prefetched.ok());
+    site->StartTrigger();
+  }
+
+  // The scoring feed keeps committing through the spike — under the flash
+  // crowd every commit is an invalidation storm on the hot pages.
+  workload::FeedOptions feed_options;
+  feed_options.results_per_event = 6;
+  feed_options.news_per_day = 2;
+  feed_options.photos_per_event = 0;
+  feed_options.first_event_offset = 0;
+  feed_options.event_window = 90 * kSecond;
+  workload::ResultFeed feed(master.get(), feed_options, 98);
+  std::vector<workload::FeedUpdate> schedule = feed.BuildDaySchedule(1);
+
+  workload::PageSampler sampler(content, *master);
+  sampler.SetCurrentDay(1);
+
+  // The adversarial arrival stream: breaking-news shape, the medal-decided
+  // page as the hot key, background viewers riding the normal Zipf model.
+  workload::ScenarioOptions scenario_options;
+  scenario_options.duration = kDurationS * kSecond;
+  scenario_options.baseline_rps = 2.0;
+  scenario_options.spike_multiplier = 50.0;
+  scenario_options.spike_start = 30 * kSecond;
+  scenario_options.spike_ramp = 5 * kSecond;
+  scenario_options.spike_duration = 30 * kSecond;
+  scenario_options.hot_page = pagegen::OlympicSite::MedalsPage();
+  workload::ScenarioGenerator generator(&sampler, scenario_options, seed);
+  const std::vector<workload::ScenarioRequest> arrivals =
+      generator.Build(workload::ScenarioKind::kBreakingNews);
+
+  std::vector<core::ServingSite*> serve_ring = {sites["Tokyo"].get(),
+                                                sites["Schaumburg"].get()};
+  const TimeNs start = clock.Now();
+  size_t next_update = 0;
+  size_t next_arrival = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  size_t ring = 0;
+
+  std::snprintf(line, sizeof line,
+                "flash-crowd drill: seed=%llu arrivals=%zu duration=%ds\n",
+                static_cast<unsigned long long>(seed), arrivals.size(),
+                kDurationS);
+  run.transcript += line;
+
+  for (int t = 1; t <= kDurationS; ++t) {
+    clock.Advance(kSecond);
+    const TimeNs elapsed = clock.Now() - start;
+
+    while (next_update < schedule.size() &&
+           schedule[next_update].at <= elapsed) {
+      EXPECT_TRUE(feed.Apply(schedule[next_update]).ok());
+      ++next_update;
+    }
+    topology.Pump();
+    for (core::ServingSite* site : serve_ring) site->Quiesce();
+
+    // Serve everything the scenario scheduled for this tick.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].at < elapsed) {
+      const workload::ScenarioRequest& req = arrivals[next_arrival++];
+      core::ServingSite* site = serve_ring[ring++ % serve_ring.size()];
+      const server::ServeOutcome outcome = site->Serve(req.page);
+      if (req.page == scenario_options.hot_page) ++run.hot_requests;
+      if (outcome.cls == server::ServeClass::kError ||
+          outcome.cls == server::ServeClass::kRejected) {
+        ++failed;
+      } else {
+        ++served;
+      }
+      if (outcome.cls == server::ServeClass::kDegradedStale) {
+        run.max_stale_age = std::max(run.max_stale_age, outcome.stale_age);
+      }
+    }
+
+    if (t % 10 == 0) {
+      std::snprintf(
+          line, sizeof line,
+          "t=%3ds served=%llu failed=%llu hot=%llu master_seq=%llu "
+          "tokyo_seq=%llu schaumburg_seq=%llu failovers=%llu\n",
+          t, static_cast<unsigned long long>(served),
+          static_cast<unsigned long long>(failed),
+          static_cast<unsigned long long>(run.hot_requests),
+          static_cast<unsigned long long>(master->LastSeqno()),
+          static_cast<unsigned long long>(sites["Tokyo"]->db().LastSeqno()),
+          static_cast<unsigned long long>(
+              sites["Schaumburg"]->db().LastSeqno()),
+          static_cast<unsigned long long>(topology.failovers()));
+      run.transcript += line;
+    }
+  }
+
+  topology.PumpUntilQuiet();
+  for (core::ServingSite* site : serve_ring) site->Quiesce();
+  run.converged = topology.Converged();
+  run.finished_at = clock.Now() - start;
+  for (core::ServingSite* site : serve_ring) {
+    auto verified = site->VerifyCacheConsistency();
+    EXPECT_TRUE(verified.ok()) << verified.status().message();
+    if (verified.ok()) run.cache_objects_verified += verified.value();
+  }
+
+  run.requests = served + failed;
+  run.served = served;
+  run.availability =
+      run.requests == 0
+          ? 0.0
+          : static_cast<double>(served) / static_cast<double>(run.requests);
+  run.faults_injected = faults.injected_total();
+
+  std::snprintf(line, sizeof line,
+                "availability=%.4f requests=%llu hot=%llu max_stale=%.3fs "
+                "converged=%s verified=%zu faults=%llu\n",
+                run.availability,
+                static_cast<unsigned long long>(run.requests),
+                static_cast<unsigned long long>(run.hot_requests),
+                static_cast<double>(run.max_stale_age) / kSecond,
+                run.converged ? "yes" : "no", run.cache_objects_verified,
+                static_cast<unsigned long long>(run.faults_injected));
+  run.transcript += line;
+
+  // The hot page's final bytes per site — the freshness identity check.
+  for (core::ServingSite* site : serve_ring) {
+    const server::ServeOutcome outcome =
+        site->Serve(scenario_options.hot_page, true);
+    std::snprintf(line, sizeof line, "hot-page bytes=%zu fnv=%016llx\n",
+                  outcome.bytes,
+                  static_cast<unsigned long long>(Fnv1a(outcome.body)));
+    run.transcript += line;
+  }
+  run.transcript += "injected-fault timeline:\n";
+  run.transcript += faults.TimelineString();
+  return run;
+}
+
+TEST(FlashCrowdDrillTest, BreakingNewsSpikeSurvivesFeedCut) {
+  const FlashCrowdRun run = RunFlashCrowdDrill(0x6d6564616cULL);  // "medal"
+
+  // The spike really happened: the hot page dominates the request stream.
+  EXPECT_GE(run.requests, 1000u);
+  EXPECT_GT(run.hot_requests, run.requests / 2) << run.transcript;
+
+  // Availability SLO: >= 99% served right through spike + link cut.
+  EXPECT_GE(run.availability, 0.99) << run.transcript;
+
+  // Bounded staleness: nothing served was older than the paper's 60 s
+  // freshness bound, and the caches are byte-fresh within 60 s of the last
+  // fault lifting.
+  EXPECT_LE(run.max_stale_age, 60 * kSecond) << run.transcript;
+  EXPECT_TRUE(run.converged) << run.transcript;
+  EXPECT_GT(run.cache_objects_verified, 0u);
+  EXPECT_LE(run.finished_at, run.recovery_end + 60 * kSecond);
+
+  // The scripted link cut actually fired.
+  EXPECT_GT(run.faults_injected, 0u);
+  EXPECT_NE(run.transcript.find("replication/Schaumburg"), std::string::npos)
+      << run.transcript;
+}
+
+TEST(FlashCrowdDrillTest, SameSeedReplaysByteIdentically) {
+  const FlashCrowdRun first = RunFlashCrowdDrill(0x73706b31ULL);
+  const FlashCrowdRun second = RunFlashCrowdDrill(0x73706b31ULL);
+  EXPECT_EQ(first.transcript, second.transcript);
+  EXPECT_EQ(first.served, second.served);
+  EXPECT_EQ(first.hot_requests, second.hot_requests);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
 }
 
 // ---------------------------------------------------------------------------

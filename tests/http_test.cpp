@@ -5,15 +5,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <ctime>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cache/object_cache.h"
 #include "http/client.h"
 #include "http/message.h"
 #include "http/server.h"
+#include "odg/graph.h"
+#include "pagegen/renderer.h"
+#include "server/serving.h"
 
 namespace nagano::http {
 namespace {
@@ -540,6 +546,183 @@ TEST(MultiReactorTest, ResponsesCarryDateHeader) {
   EXPECT_NE(it->second.find(std::to_string(1900 + now_utc.tm_year)),
             std::string::npos)
       << it->second;
+  server.Stop();
+}
+
+// --- admission control -----------------------------------------------------------
+
+// End-to-end admission control: a render slot held open by one request, the
+// next cold miss shed over the wire.
+class AdmissionTest : public ::testing::Test {
+ protected:
+  static cache::ObjectCache::Options StaleRetaining() {
+    cache::ObjectCache::Options options;
+    options.retain_stale = true;
+    return options;
+  }
+
+  AdmissionTest() : cache_(StaleRetaining()), renderer_(&graph_, &cache_) {
+    renderer_.RegisterExact("/slow", [this](const pagegen::RenderRequest&) {
+      entered_.store(true);
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!release_.load() && std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Result<std::string>("finally done");
+    });
+  }
+
+  // Occupies the single render slot from a background thread (directly, not
+  // over HTTP: a handler parked on the lone reactor would block the event
+  // loop and the probe would never reach admission control at all).
+  std::thread HoldRenderSlot(server::DynamicPageServer* program) {
+    std::thread holder([program] {
+      EXPECT_EQ(program->Serve("/slow").cls,
+                server::ServeClass::kCacheMissGenerated);
+    });
+    while (!entered_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return holder;
+  }
+
+  odg::ObjectDependenceGraph graph_;
+  cache::ObjectCache cache_;
+  pagegen::PageRenderer renderer_;
+  std::atomic<bool> entered_{false};
+  std::atomic<bool> release_{false};
+};
+
+TEST_F(AdmissionTest, QueueOverflowGets503WithRetryAfter) {
+  renderer_.RegisterExact("/cold", [](const pagegen::RenderRequest&) {
+    return Result<std::string>("cold page");
+  });
+  server::DynamicPageServer::Options options;
+  options.max_concurrent_renders = 1;
+  server::DynamicPageServer program(&cache_, &renderer_, options);
+  server::HttpFrontEnd front(&program);
+  ASSERT_TRUE(front.Start().ok());
+
+  std::thread holder = HoldRenderSlot(&program);
+  // The slot is taken and /cold has no cached copy to fall back on: shed.
+  auto shed = HttpClient::FetchOnce("127.0.0.1", front.port(), "/cold");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.value().status, 503);
+  auto retry = shed.value().headers.find("Retry-After");
+  ASSERT_NE(retry, shed.value().headers.end());
+  // One render's worth of drain time, rounded up to whole seconds.
+  EXPECT_EQ(retry->second, "1");
+
+  release_.store(true);
+  holder.join();
+  // Queue drained: the same page now renders normally.
+  auto again = HttpClient::FetchOnce("127.0.0.1", front.port(), "/cold");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().status, 200);
+  EXPECT_EQ(again.value().body, "cold page");
+
+  EXPECT_EQ(program.stats().shed, 1u);
+  EXPECT_EQ(program.stats().shed_softened, 0u);
+  front.Stop();
+}
+
+TEST_F(AdmissionTest, StaleCopyPreferredOverRejection) {
+  renderer_.RegisterExact("/news", [](const pagegen::RenderRequest&) {
+    return Result<std::string>("latest medal table");
+  });
+  server::DynamicPageServer::Options options;
+  options.max_concurrent_renders = 1;
+  server::DynamicPageServer program(&cache_, &renderer_, options);
+  server::HttpFrontEnd front(&program);
+  ASSERT_TRUE(front.Start().ok());
+
+  // Prime a last-known-good copy, then invalidate it (retained stale).
+  ASSERT_EQ(program.Serve("/news").cls,
+            server::ServeClass::kCacheMissGenerated);
+  ASSERT_TRUE(cache_.Invalidate("/news"));
+
+  std::thread holder = HoldRenderSlot(&program);
+  // Shedding would reject, but a stale body exists — availability first.
+  auto resp = HttpClient::FetchOnce("127.0.0.1", front.port(), "/news");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_EQ(resp.value().body, "latest medal table");
+  EXPECT_EQ(resp.value().headers.at("X-Cache"), "STALE");
+  EXPECT_EQ(resp.value().headers.count("X-Nagano-Stale"), 1u);
+
+  release_.store(true);
+  holder.join();
+  EXPECT_EQ(program.stats().shed, 0u);
+  EXPECT_EQ(program.stats().shed_softened, 1u);
+  EXPECT_EQ(program.stats().stale_serves, 1u);
+  front.Stop();
+}
+
+// --- write-stall guard -----------------------------------------------------------
+
+// Slow-client flood: connections that request huge pages and never read a
+// byte must be paused at the pending-write cap — without starving fast
+// clients sharing the same reactor.
+TEST(WriteStallTest, SlowClientFloodBoundedWithoutStarvingFastClients) {
+  // Bigger than the kernel's maximum send buffer (tcp_wmem max), so a
+  // non-draining peer is guaranteed to leave unflushed bytes queued.
+  const std::string big(6 << 20, 'B');
+  HttpServer::Options options;
+  options.reactors = 1;  // flooders and fast clients share one event loop
+  options.max_pending_write_bytes = 64 * 1024;
+  HttpServer server(
+      [&big](const HttpRequest& req) {
+        if (req.Path() == "/big") return HttpResponse::Ok(big);
+        return HttpResponse::Ok("tiny");
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kFlooders = 3;
+  std::vector<int> flood_fds;
+  for (int i = 0; i < kFlooders; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int rcvbuf = 4096;  // tiny receive window: the server backs up fast
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    // Pipeline several huge requests, then never read.
+    std::string wire;
+    for (int j = 0; j < 4; ++j) wire += "GET /big HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+    flood_fds.push_back(fd);
+  }
+
+  // Every flooder should trip the stall guard once its queue tops the cap.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().write_stalls < kFlooders &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().write_stalls, static_cast<uint64_t>(kFlooders));
+
+  // Fast clients on the same (stalled) reactor are served promptly.
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.Get("/hello");
+    ASSERT_TRUE(resp.ok()) << i;
+    EXPECT_EQ(resp.value().body, "tiny");
+  }
+
+  // A paused flooder stops being answered: of the 4 pipelined requests,
+  // only the head of each queue was turned into a response.
+  EXPECT_EQ(server.stats().requests_served,
+            static_cast<uint64_t>(kFlooders + 20));
+
+  for (int fd : flood_fds) ::close(fd);
   server.Stop();
 }
 

@@ -1,0 +1,218 @@
+// Stampede battery: N concurrent misses on one cold key must cost exactly
+// one render, with every participant sharing the same ref-counted body
+// (single-flight coalescing, ISSUE: the medal-decided flash crowd). Also
+// drills the failure edges: a coalesced render abandoned once every
+// participant's deadline has expired, and a renderer outage where the whole
+// herd degrades to the same last-known-good stale copy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/object_cache.h"
+#include "http/client.h"
+#include "odg/graph.h"
+#include "pagegen/renderer.h"
+#include "server/serving.h"
+
+namespace nagano::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+class StampedeTest : public ::testing::Test {
+ protected:
+  odg::ObjectDependenceGraph graph_;
+  cache::ObjectCache cache_;
+  pagegen::PageRenderer renderer_{&graph_, &cache_};
+};
+
+// 64 threads race one cold key. The generator refuses to finish until every
+// follower has registered as a waiter, so the test is deterministic: one
+// render, 63 coalesced waiters, 64 byte-identical bodies off one shared ref.
+TEST_F(StampedeTest, SixtyFourConcurrentMissesOneRender) {
+  constexpr int kThreads = 64;
+  std::atomic<int> renders{0};
+  std::atomic<DynamicPageServer*> program_gate{nullptr};
+  renderer_.RegisterExact("/herd", [&](const pagegen::RenderRequest&) {
+    renders.fetch_add(1);
+    const auto give_up = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < give_up) {
+      DynamicPageServer* p = program_gate.load();
+      if (p != nullptr && p->stats().coalesced >= kThreads - 1) break;
+      std::this_thread::sleep_for(1ms);
+    }
+    return Result<std::string>("the whole herd shares me");
+  });
+
+  DynamicPageServer program(&cache_, &renderer_);
+  program_gate.store(&program);
+
+  std::vector<ServeOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { outcomes[i] = program.Serve("/herd"); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(renders.load(), 1);
+  int coalesced = 0;
+  const std::string* shared = nullptr;
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.cls, ServeClass::kCacheMissGenerated);
+    EXPECT_EQ(out.body, "the whole herd shares me");
+    ASSERT_NE(out.body_ref, nullptr);
+    if (shared == nullptr) shared = out.body_ref.get();
+    // Same control block, same bytes: the fan-out holds one copy.
+    EXPECT_EQ(out.body_ref.get(), shared);
+    if (out.coalesced) ++coalesced;
+  }
+  EXPECT_EQ(coalesced, kThreads - 1);
+
+  const auto stats = program.stats();
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.coalesce_timeouts, 0u);
+  EXPECT_EQ(renderer_.stats().pages_rendered, 1u);
+}
+
+// The same herd arriving over real sockets, at every reactor count. The
+// render must run once, every client must read identical bytes, and the
+// fan-out must never materialize a body into the write path
+// (nagano_http_body_copies_total == 0).
+TEST_F(StampedeTest, HttpFanOutAtOneTwoEightReactors) {
+  std::atomic<int> renders{0};
+  renderer_.RegisterPrefix("/storm/", [&](const pagegen::RenderRequest& req) {
+    renders.fetch_add(1);
+    std::this_thread::sleep_for(100ms);
+    return Result<std::string>("storm page " + std::string(req.page));
+  });
+  DynamicPageServer program(&cache_, &renderer_);
+
+  for (const size_t reactors : {size_t{1}, size_t{2}, size_t{8}}) {
+    renders.store(0);
+    const std::string path = "/storm/" + std::to_string(reactors);
+    FrontEndOptions options;
+    options.http.reactors = reactors;
+    options.http.accept_mode = http::AcceptMode::kRoundRobin;
+    HttpFrontEnd front(&program, options);
+    ASSERT_TRUE(front.Start().ok()) << "reactors=" << reactors;
+
+    constexpr int kClients = 16;
+    std::vector<std::string> bodies(kClients);
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        auto resp = http::HttpClient::FetchOnce("127.0.0.1", front.port(),
+                                                path);
+        if (resp.ok() && resp.value().status == 200) {
+          ok.fetch_add(1);
+          bodies[i] = std::move(resp.value().body);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(ok.load(), kClients) << "reactors=" << reactors;
+    EXPECT_EQ(renders.load(), 1) << "reactors=" << reactors;
+    for (const auto& body : bodies) {
+      EXPECT_EQ(body, "storm page " + path) << "reactors=" << reactors;
+    }
+    EXPECT_EQ(front.http_stats().body_copies, 0u) << "reactors=" << reactors;
+    front.Stop();
+  }
+}
+
+// When every participant's deadline has expired, the in-flight render is
+// abandoned between retry attempts instead of burning the whole retry
+// budget on a result nobody is left to read.
+TEST_F(StampedeTest, RenderCancelledOnceEveryDeadlineExpires) {
+  std::atomic<int> attempts{0};
+  renderer_.RegisterExact("/doomed", [&](const pagegen::RenderRequest&) {
+    attempts.fetch_add(1);
+    return Result<std::string>(UnavailableError("backend down"));
+  });
+
+  DynamicPageServer::Options options;
+  options.retry.max_attempts = 100;
+  options.retry.initial_backoff = FromMillis(5);
+  options.retry.multiplier = 1.0;
+  options.retry.jitter = 0.0;
+  options.sleep_on_backoff = true;
+  DynamicPageServer program(&cache_, &renderer_, options);
+
+  const TimeNs deadline = RealClock::Instance().Now() + FromMillis(40);
+  const auto out = program.Serve("/doomed", /*include_body=*/true, deadline);
+  // No stale copy exists, so the abandoned render surfaces as an error.
+  EXPECT_EQ(out.cls, ServeClass::kError);
+  EXPECT_GE(attempts.load(), 1);
+  EXPECT_LT(attempts.load(), 30);  // the 100-attempt budget was cut short
+  const auto stats = program.stats();
+  EXPECT_EQ(stats.renders_cancelled, 1u);
+  EXPECT_GE(stats.deadline_exceeded, 1u);
+}
+
+// Renderer outage under a herd: the one failing render degrades the whole
+// fan-out to the same last-known-good stale copy.
+TEST_F(StampedeTest, HerdDegradesToSharedStaleCopyOnRendererFailure) {
+  constexpr int kThreads = 16;
+  cache::ObjectCache::Options cache_options;
+  cache_options.retain_stale = true;
+  cache::ObjectCache cache(cache_options);
+  pagegen::PageRenderer renderer(&graph_, &cache);
+
+  std::atomic<bool> fail{false};
+  std::atomic<DynamicPageServer*> program_gate{nullptr};
+  renderer.RegisterExact("/fragile", [&](const pagegen::RenderRequest&) {
+    if (!fail.load()) return Result<std::string>("last known good");
+    const auto give_up = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < give_up) {
+      DynamicPageServer* p = program_gate.load();
+      if (p != nullptr && p->stats().coalesced >= kThreads - 1) break;
+      std::this_thread::sleep_for(1ms);
+    }
+    return Result<std::string>(UnavailableError("renderer down"));
+  });
+
+  DynamicPageServer::Options options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = FromMillis(1);
+  DynamicPageServer program(&cache, &renderer, options);
+
+  // Prime the last-known-good copy, then invalidate it (retained stale).
+  ASSERT_EQ(program.Serve("/fragile").cls, ServeClass::kCacheMissGenerated);
+  ASSERT_TRUE(cache.Invalidate("/fragile"));
+  fail.store(true);
+  program_gate.store(&program);
+
+  std::vector<ServeOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { outcomes[i] = program.Serve("/fragile"); });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::string* shared = nullptr;
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.cls, ServeClass::kDegradedStale);
+    EXPECT_EQ(out.body, "last known good");
+    EXPECT_FALSE(out.error.ok());
+    ASSERT_NE(out.body_ref, nullptr);
+    if (shared == nullptr) shared = out.body_ref.get();
+    EXPECT_EQ(out.body_ref.get(), shared);
+  }
+  const auto stats = program.stats();
+  EXPECT_EQ(stats.stale_serves, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace nagano::server

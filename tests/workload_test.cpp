@@ -11,6 +11,7 @@
 #include "workload/navigation.h"
 #include "workload/profiles.h"
 #include "workload/sampler.h"
+#include "workload/scenarios.h"
 
 namespace nagano::workload {
 namespace {
@@ -306,6 +307,188 @@ TEST_F(NavigationTest, GoalSessionsEndAtUsefulPage) {
       EXPECT_TRUE(s.requests.back().starts_with("/event/"));
     }
   }
+}
+
+// --- adversarial scenarios -------------------------------------------------------
+
+class ScenarioTest : public SamplerTest {
+ protected:
+  static ScenarioOptions SmallScenario() {
+    ScenarioOptions options;
+    options.duration = 60 * kSecond;
+    options.baseline_rps = 20.0;
+    options.spike_multiplier = 50.0;
+    options.spike_start = 20 * kSecond;
+    options.spike_ramp = 2 * kSecond;
+    options.spike_duration = 20 * kSecond;
+    options.hot_page = "/medals";
+    return options;
+  }
+
+  static std::string Serialize(const std::vector<ScenarioRequest>& stream) {
+    std::string out;
+    for (const auto& r : stream) {
+      out += std::to_string(r.at);
+      out += ' ';
+      out += r.page;
+      out += r.slow_client ? " slow\n" : "\n";
+    }
+    return out;
+  }
+
+  // Empirical rate (requests/s) for `page` over [from, to).
+  static double WindowRate(const std::vector<ScenarioRequest>& stream,
+                           TimeNs from, TimeNs to, const std::string& page) {
+    size_t n = 0;
+    for (const auto& r : stream) {
+      if (r.at >= from && r.at < to && r.page == page) ++n;
+    }
+    return static_cast<double>(n) * 1e9 / static_cast<double>(to - from);
+  }
+};
+
+TEST_F(ScenarioTest, SameSeedGivesByteIdenticalStreams) {
+  PageSampler sampler_a(config_, db_), sampler_b(config_, db_);
+  sampler_a.SetCurrentDay(2);
+  sampler_b.SetCurrentDay(2);
+  for (const auto kind :
+       {ScenarioKind::kBreakingNews, ScenarioKind::kAuctionClose,
+        ScenarioKind::kLeaderboardTick, ScenarioKind::kSlowClientFlood}) {
+    ScenarioGenerator a(&sampler_a, SmallScenario(), 97);
+    ScenarioGenerator b(&sampler_b, SmallScenario(), 97);
+    EXPECT_EQ(Serialize(a.Build(kind)), Serialize(b.Build(kind)))
+        << ScenarioName(kind);
+    ScenarioGenerator c(&sampler_a, SmallScenario(), 98);
+    EXPECT_NE(Serialize(a.Build(kind)), Serialize(c.Build(kind)))
+        << ScenarioName(kind) << " ignores its seed";
+  }
+}
+
+TEST_F(ScenarioTest, BreakingNewsRampsToPeakThenDecays) {
+  const auto options = SmallScenario();
+  // No sampler: a pure hot-page stream, so every request is spike traffic.
+  ScenarioGenerator gen(nullptr, options, 7);
+  const double peak = options.baseline_rps * options.spike_multiplier;
+  EXPECT_DOUBLE_EQ(gen.RateAt(ScenarioKind::kBreakingNews,
+                              options.spike_start + options.spike_ramp),
+                   peak);
+  EXPECT_DOUBLE_EQ(
+      gen.RateAt(ScenarioKind::kBreakingNews, options.spike_start - 1), 0.0);
+
+  const auto stream = gen.Build(ScenarioKind::kBreakingNews);
+  ASSERT_FALSE(stream.empty());
+  for (const auto& r : stream) {
+    EXPECT_GE(r.at, options.spike_start);  // silence before the decision
+    EXPECT_LT(r.at, options.duration);
+    EXPECT_EQ(r.page, options.hot_page);
+    EXPECT_FALSE(r.slow_client);
+  }
+  // The linear ramp averages half the peak...
+  const double ramp_rate =
+      WindowRate(stream, options.spike_start,
+                 options.spike_start + options.spike_ramp, options.hot_page);
+  EXPECT_NEAR(ramp_rate, peak / 2, peak / 8);
+  // ...and the crowd has mostly dispersed by three time constants out.
+  const double tail_rate = WindowRate(
+      stream, options.spike_start + options.spike_ramp + options.spike_duration,
+      options.duration, options.hot_page);
+  EXPECT_LT(tail_rate, peak / 10);
+}
+
+TEST_F(ScenarioTest, AuctionCloseBuildsThenVanishes) {
+  const auto options = SmallScenario();
+  ScenarioGenerator gen(nullptr, options, 11);
+  const double peak = options.baseline_rps * options.spike_multiplier;
+  const TimeNs close = options.spike_start + options.spike_duration;
+  EXPECT_NEAR(gen.RateAt(ScenarioKind::kAuctionClose, close - kMillisecond),
+              peak, peak / 100);
+  EXPECT_DOUBLE_EQ(gen.RateAt(ScenarioKind::kAuctionClose, close), 0.0);
+
+  const auto stream = gen.Build(ScenarioKind::kAuctionClose);
+  ASSERT_FALSE(stream.empty());
+  // Quadratic build-up: the second half of the window carries ~7x the
+  // traffic of the first.
+  const TimeNs mid = options.spike_start + options.spike_duration / 2;
+  const double early =
+      WindowRate(stream, options.spike_start, mid, options.hot_page);
+  const double late = WindowRate(stream, mid, close, options.hot_page);
+  EXPECT_GT(late, 3 * early);
+  // The instant the auction closes, interest vanishes.
+  for (const auto& r : stream) EXPECT_LT(r.at, close);
+}
+
+TEST_F(ScenarioTest, LeaderboardTickPlateauAndCadence) {
+  const auto options = SmallScenario();
+  ScenarioGenerator gen(nullptr, options, 13);
+  const double peak = options.baseline_rps * options.spike_multiplier;
+
+  const auto stream = gen.Build(ScenarioKind::kLeaderboardTick);
+  const double plateau =
+      WindowRate(stream, options.spike_start,
+                 options.spike_start + options.spike_duration,
+                 options.hot_page);
+  EXPECT_NEAR(plateau, peak, peak / 10);
+
+  const auto ticks = gen.InvalidationSchedule();
+  ASSERT_EQ(ticks.size(), static_cast<size_t>(options.spike_duration /
+                                              options.invalidation_interval));
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i].page, options.hot_page);
+    EXPECT_EQ(ticks[i].at, options.spike_start +
+                               static_cast<TimeNs>(i) *
+                                   options.invalidation_interval);
+  }
+}
+
+TEST_F(ScenarioTest, SlowClientFloodMarksItsPopulation) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  auto options = SmallScenario();
+  options.slow_client_share = 0.3;
+  ScenarioGenerator gen(&sampler, options, 17);
+  const double flood_rate =
+      options.baseline_rps * options.spike_multiplier * 0.3;
+
+  const auto stream = gen.Build(ScenarioKind::kSlowClientFlood);
+  size_t slow = 0, fast = 0;
+  for (const auto& r : stream) {
+    if (r.slow_client) {
+      ++slow;
+      // Flooders hammer the hot page inside the flood window only.
+      EXPECT_EQ(r.page, options.hot_page);
+      EXPECT_GE(r.at, options.spike_start);
+      EXPECT_LT(r.at, options.spike_start + options.spike_duration);
+    } else {
+      ++fast;
+    }
+  }
+  EXPECT_GT(fast, 0u);  // background viewers ride along
+  const double empirical =
+      static_cast<double>(slow) * 1e9 /
+      static_cast<double>(options.spike_duration);
+  EXPECT_NEAR(empirical, flood_rate, flood_rate / 5);
+}
+
+// Zipf-baseline regression: the scenario layer must not perturb the normal
+// popularity model it rides on — pre-spike traffic is the same sampler
+// distribution the diurnal benches use (day-home dominant, all generable).
+TEST_F(ScenarioTest, BackgroundTrafficKeepsZipfBaseline) {
+  PageSampler sampler(config_, db_);
+  sampler.SetCurrentDay(2);
+  const auto options = SmallScenario();
+  ScenarioGenerator gen(&sampler, options, 19);
+  const auto stream = gen.Build(ScenarioKind::kBreakingNews);
+
+  size_t background = 0, day_home = 0;
+  for (const auto& r : stream) {
+    if (r.at >= options.spike_start) continue;  // pure background window
+    ++background;
+    if (r.page == "/day/2") ++day_home;
+    EXPECT_TRUE(renderer_.CanGenerate(r.page)) << r.page;
+  }
+  ASSERT_GT(background, 100u);
+  EXPECT_GT(static_cast<double>(day_home) / static_cast<double>(background),
+            0.12);
 }
 
 }  // namespace
