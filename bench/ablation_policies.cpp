@@ -70,7 +70,7 @@ DayOutcome RunDay(trigger::TriggerOptions trigger_options, bool quiesce_each) {
     if (cached == nullptr) continue;
     ++out.checked_pages;
     auto fresh = site.renderer().RenderOnly(page);
-    if (fresh.ok() && fresh.value() != cached->body) ++out.stale_pages;
+    if (fresh.ok() && fresh.value() != cached->Materialize()) ++out.stale_pages;
   }
   return out;
 }

@@ -176,7 +176,7 @@ int main() {
   for (const auto& name : complexes) {
     const auto body = sites[name]->cache().Peek(probe);
     if (body == nullptr || reference == nullptr ||
-        body->body != reference->body) {
+        body->Materialize() != reference->Materialize()) {
       converged_identical = false;
     }
   }

@@ -19,11 +19,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -66,6 +68,167 @@ struct ScalingRun {
   uint64_t digest = 0;  // FNV-1a over the key-sorted final cache contents
 };
 
+// --- fragment-first fanout bytes ------------------------------------------
+//
+// The FRAG experiment: a scoreboard commit (medal-moving result) reaches
+// every page embedding the medal-standings fragment. In whole-page mode
+// each of those pages re-renders end to end; in fragment mode the fragment
+// re-renders once and every embedding page is patched in place, so the
+// bytes produced per commit collapse. fanout_bytes_per_commit is the
+// nagano_dup_fanout_bytes histogram with one observation per quiesced
+// commit.
+
+core::SiteOptions FanoutSite(bool quick) {
+  core::SiteOptions options;
+  if (quick) {
+    // Sized so the scoreboard fragment fans out into ~100 embedding pages
+    // (16 days + schedule/medals across en+ja) while the unavoidable
+    // re-renders (the completed event's own pages, medalist countries)
+    // stay small — the shape the fragment-first refactor targets.
+    options.olympic.days = 26;
+    options.olympic.num_sports = 8;
+    options.olympic.events_per_sport = 12;
+    options.olympic.athletes_per_event = 4;
+    options.olympic.num_countries = 30;
+    options.olympic.initial_news_articles = 12;
+  } else {
+    options = FullSite();
+  }
+  options.trigger.policy = trigger::CachePolicy::kDupUpdateInPlace;
+  return options;
+}
+
+struct FanoutRun {
+  bool compose = false;
+  size_t pages = 0;              // cached objects at prefetch
+  uint64_t commits = 0;          // quiesced commits replayed
+  uint64_t rerendered_bytes = 0; // total bytes produced by re-renders
+  uint64_t plans_patched = 0;
+  uint64_t renders = 0;
+  Histogram per_commit;          // bytes re-rendered per quiesced commit
+  // The scoreboard class alone: event completions move the medal standings,
+  // whose fragment is embedded across every day/medals page — the commit
+  // class the fragment-first refactor targets.
+  Histogram per_scoreboard_commit;
+};
+
+// Replays the same medal-moving commit sequence (results + event
+// completions) against a fresh prefetched site in composition or
+// whole-page mode, quiescing after every commit and measuring the bytes
+// re-rendered per commit from the trigger's rerendered-bytes counter.
+std::optional<FanoutRun> RunFanout(bool compose, bool quick) {
+  core::SiteOptions options = FanoutSite(quick);
+  options.compose_pages = compose;
+  auto site_or = core::ServingSite::Create(std::move(options));
+  if (!site_or.ok()) return std::nullopt;
+  auto& site = *site_or.value();
+  const auto prefetched = site.PrefetchAll();
+  if (!prefetched.ok()) return std::nullopt;
+  site.StartTrigger();
+
+  FanoutRun run;
+  run.compose = compose;
+  run.pages = prefetched.value();
+  uint64_t bytes_before = 0;
+  const auto commit = [&](Status status, bool scoreboard) -> bool {
+    if (!status.ok()) return false;
+    site.Quiesce();
+    const uint64_t bytes_now = site.trigger_monitor().stats().rerendered_bytes;
+    const double delta = static_cast<double>(bytes_now - bytes_before);
+    bytes_before = bytes_now;
+    run.per_commit.Add(delta);
+    if (scoreboard) run.per_scoreboard_commit.Add(delta);
+    ++run.commits;
+    return true;
+  };
+  const int events = quick ? 6 : 24;
+  for (int event = 1; event <= events; ++event) {
+    for (int rank = 1; rank <= 3; ++rank) {
+      if (!commit(site.RecordResult(event, rank, rank + event, 95.0 - rank),
+                  /*scoreboard=*/false)) {
+        return std::nullopt;
+      }
+    }
+    // The scoreboard commit: completion awards G/S/B, so the standings
+    // fragment and every page embedding it are affected.
+    if (!commit(site.CompleteEvent(event), /*scoreboard=*/true)) {
+      return std::nullopt;
+    }
+  }
+  site.StopTrigger();
+
+  const auto stats = site.trigger_monitor().stats();
+  run.rerendered_bytes = stats.rerendered_bytes;
+  run.plans_patched = stats.plans_patched;
+  run.renders = stats.objects_updated;
+  return run;
+}
+
+// Runs the fragment-vs-whole-page comparison and emits the FRAG section.
+// Returns the fanout-bytes ratio (whole-page / fragment, per mean commit),
+// or nullopt on failure.
+std::optional<double> RunFanoutComparison(bool quick, std::string& json_out) {
+  bench::Section(quick ? "fanout bytes per commit (quick gate)"
+                       : "fanout bytes per commit (fragment vs whole-page)");
+  auto frag = RunFanout(/*compose=*/true, quick);
+  auto whole = RunFanout(/*compose=*/false, quick);
+  if (!frag || !whole) return std::nullopt;
+  for (const FanoutRun* run : {&*whole, &*frag}) {
+    bench::Row("%-12s %4zu pages  %3llu commits  %9llu bytes re-rendered  "
+               "%6llu renders  %6llu plans patched  per-commit p50=%.0f  "
+               "scoreboard mean=%.0f",
+               run->compose ? "fragment" : "whole-page", run->pages,
+               static_cast<unsigned long long>(run->commits),
+               static_cast<unsigned long long>(run->rerendered_bytes),
+               static_cast<unsigned long long>(run->renders),
+               static_cast<unsigned long long>(run->plans_patched),
+               run->per_commit.Percentile(0.5),
+               run->per_scoreboard_commit.mean());
+  }
+  // All-commit reduction is diluted by result commits whose event/athlete
+  // pages legitimately re-render in both modes; the scoreboard class is
+  // where the fragment refactor pays — its fragment fans out into every
+  // day/medals page, all of which patch instead of re-rendering.
+  const double frag_mean = frag->per_scoreboard_commit.mean();
+  const double whole_mean = whole->per_scoreboard_commit.mean();
+  const double ratio = frag_mean > 0 ? whole_mean / frag_mean : 0.0;
+  const double all_ratio =
+      frag->per_commit.mean() > 0
+          ? whole->per_commit.mean() / frag->per_commit.mean()
+          : 0.0;
+  bench::Compare("all-commit fanout bytes, whole-page vs fragment", 2.0,
+                 all_ratio, "x reduction");
+  bench::Compare("scoreboard-commit fanout bytes, whole-page vs fragment",
+                 10.0, ratio,
+                 quick ? "x reduction (target >= 10x)"
+                       : "x reduction (the >= 10x gate runs on the --quick "
+                         "site; the full site's richer event/country pages "
+                         "re-render in both modes)");
+
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"fragment\": {\"mean\": %.1f, \"p50\": %.1f, \"max\": %.1f, "
+      "\"scoreboard_mean\": %.1f, \"total\": %llu, \"plans_patched\": %llu},\n"
+      "    \"whole_page\": {\"mean\": %.1f, \"p50\": %.1f, \"max\": %.1f, "
+      "\"scoreboard_mean\": %.1f, \"total\": %llu},\n"
+      "    \"reduction_x\": %.2f,\n"
+      "    \"scoreboard_reduction_x\": %.2f\n"
+      "  },\n",
+      quick ? "fanout_quick_gate" : "fanout_bytes_per_commit",
+      frag->per_commit.mean(), frag->per_commit.Percentile(0.5),
+      frag->per_commit.max(), frag_mean,
+      static_cast<unsigned long long>(frag->rerendered_bytes),
+      static_cast<unsigned long long>(frag->plans_patched),
+      whole->per_commit.mean(), whole->per_commit.Percentile(0.5),
+      whole->per_commit.max(), whole_mean,
+      static_cast<unsigned long long>(whole->rerendered_bytes), all_ratio,
+      ratio);
+  json_out = buf;
+  return ratio;
+}
+
 // Replays the same deterministic feed day against a fresh prefetched site
 // with the given render-worker count, quiescing once at the end, and
 // digests the final cache so runs can be compared for byte-identity.
@@ -100,7 +263,7 @@ std::optional<ScalingRun> RunScaling(size_t workers) {
   uint64_t digest = 14695981039346656037ull;
   for (const auto& [key, object] : site.cache().Snapshot()) {
     digest = Fnv1a(key, digest);
-    digest = Fnv1a(object->body, digest);
+    digest = Fnv1a(object->Materialize(), digest);
     ++run.entries;
   }
   run.digest = digest;
@@ -109,7 +272,32 @@ std::optional<ScalingRun> RunScaling(size_t workers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --quick: the fragment-vs-whole-page fanout regression gate alone, on a
+  // small site — the ci.sh `fragments` leg runs this and fails the build
+  // when composition stops cutting per-commit fanout bytes by >= 10x.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+  if (quick) {
+    bench::Header("FRESH", "fragment fanout regression gate (--quick)");
+    std::string json_fragment;
+    const auto ratio = RunFanoutComparison(/*quick=*/true, json_fragment);
+    if (!ratio) {
+      std::fprintf(stderr, "fanout comparison failed\n");
+      return 1;
+    }
+    if (*ratio < 10.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: fragment composition cut fanout bytes only "
+                   "%.2fx (target >= 10x)\n",
+                   *ratio);
+      return 1;
+    }
+    return 0;
+  }
+
   bench::Header("FRESH", "update latency and fan-out");
 
   core::SiteOptions options = FullSite();
@@ -249,6 +437,30 @@ int main() {
   bench::CompareText("final cache byte-identical across runs", "yes",
                      identical ? "yes" : "no");
 
+  // --- fragment composition: fanout bytes per commit ----------------------
+  std::string fanout_json;
+  const auto fanout_ratio = RunFanoutComparison(/*quick=*/false, fanout_json);
+  if (!fanout_ratio) {
+    std::fprintf(stderr, "fanout comparison failed\n");
+    return 1;
+  }
+  // The gated series too (the acceptance shape: a scoreboard fragment
+  // embedded in ~100 lean pages), so the committed baseline records the
+  // >= 10x reduction next to the full-site numbers.
+  std::string gate_json;
+  const auto gate_ratio = RunFanoutComparison(/*quick=*/true, gate_json);
+  if (!gate_ratio) {
+    std::fprintf(stderr, "quick-gate fanout comparison failed\n");
+    return 1;
+  }
+  if (*gate_ratio < 10.0) {
+    std::fprintf(stderr,
+                 "REGRESSION: fragment composition cut quick-gate fanout "
+                 "bytes only %.2fx (target >= 10x)\n",
+                 *gate_ratio);
+    return 1;
+  }
+
   // Machine-readable artifact consumed by EXPERIMENTS.md.
   std::ofstream json("BENCH_update_latency.json");
   json << "{\n"
@@ -274,6 +486,8 @@ int main() {
          << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << fanout_json
+       << gate_json
        << "  \"speedup_8v1\": " << speedup << ",\n"
        << "  \"identical_contents\": " << (identical ? "true" : "false")
        << "\n}\n";

@@ -6,7 +6,7 @@
 #
 #   ./ci.sh            # run the whole matrix
 #   ./ci.sh plain      # one leg: plain | asan | tsan | chaos | durability
-#                      #          | throughput | flashcrowd
+#                      #          | throughput | flashcrowd | fragments
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -77,6 +77,26 @@ leg_flashcrowd() {
   "${tree}/bench/flash_crowd" --quick --baseline=BENCH_flashcrowd.json
   echo "=== [flashcrowd] OK ==="
 }
+# Fragments leg: the composition-plan suites (plan cache, fragment DUP
+# properties, shared-fragment stampedes) raced under TSan — plan patching
+# is a lock-free Peek plus an identity-checked swap, so a race there
+# corrupts served pages. Then the update-latency bench's quick gate on a
+# plain tree: a scoreboard commit must still cut fanout bytes >= 10x vs
+# whole-page mode, with hit-only composed responses copying zero body
+# bytes. Shares the tsan and plain trees.
+leg_fragments() {
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_leg tsan "thread" "-L fragments"
+  local tree="build-ci-plain"
+  echo "=== [fragments] configure ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="" > /dev/null
+  echo "=== [fragments] build ==="
+  cmake --build "${tree}" -j "${JOBS}" --target update_latency -- -k > /dev/null
+  echo "=== [fragments] fanout-bytes quick gate ==="
+  "${tree}/bench/update_latency" --quick
+  echo "=== [fragments] OK ==="
+}
 # Throughput smoke: one short cache-hit sweep against the committed
 # baseline (BENCH_throughput.json). The bench exits non-zero if the
 # single-reactor hit rate regresses more than 20% below the baseline or
@@ -102,8 +122,9 @@ case "${1:-all}" in
   durability) leg_durability ;;
   throughput) leg_throughput ;;
   flashcrowd) leg_flashcrowd ;;
+  fragments) leg_fragments ;;
   all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability
-         leg_throughput; leg_flashcrowd ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|all]" >&2; exit 2 ;;
+         leg_throughput; leg_flashcrowd; leg_fragments ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|fragments|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

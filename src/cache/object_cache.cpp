@@ -9,22 +9,42 @@ namespace nagano::cache {
 namespace {
 
 size_t EntryFootprint(const std::string& key, const CachedObject& obj) {
-  return key.size() + obj.body.size() + obj.entity_headers.size() +
-         sizeof(CachedObject);
+  size_t n = key.size() + obj.body.size() + obj.entity_headers.size() +
+             sizeof(CachedObject);
+  // Plans own their static text; fragment bytes are charged to the
+  // fragment's own entry, so only the chunk bookkeeping is counted here.
+  for (const PlanChunk& chunk : obj.plan) {
+    n += chunk.text.size() + chunk.fragment.size() + sizeof(PlanChunk);
+  }
+  return n;
 }
 
 // The ready-to-send header prefix a hit appends to its response. Refreshed
 // on every store so Content-Length and the version stamp always match the
-// body they travel with.
+// entity bytes they travel with.
 void BuildEntityHeaders(CachedObject& obj) {
   obj.entity_headers = "Content-Length: ";
-  obj.entity_headers += std::to_string(obj.body.size());
+  obj.entity_headers += std::to_string(obj.entity_size());
   obj.entity_headers += "\r\nX-Nagano-Version: ";
   obj.entity_headers += std::to_string(obj.version);
   obj.entity_headers += "\r\n";
 }
 
+size_t SumPlanBytes(const std::vector<PlanChunk>& plan) {
+  size_t n = 0;
+  for (const PlanChunk& chunk : plan) n += chunk.bytes().size();
+  return n;
+}
+
 }  // namespace
+
+std::string CachedObject::Materialize() const {
+  if (!is_plan()) return body;
+  std::string out;
+  out.reserve(plan_bytes);
+  for (const PlanChunk& chunk : plan) out += chunk.bytes();
+  return out;
+}
 
 Status ObjectCache::Options::Validate() const {
   if (shards == 0) {
@@ -54,6 +74,9 @@ ObjectCache::ObjectCache(Options options)
       scope.GetCounter("nagano_cache_invalidations_total", "entries dropped");
   evictions_ =
       scope.GetCounter("nagano_cache_evictions_total", "LRU evictions");
+  plans_patched_ = scope.GetCounter(
+      "nagano_cache_plans_patched_total",
+      "composition plans refreshed by fragment swap (no page re-render)");
   entries_gauge_ = scope.GetGauge("nagano_cache_entries", "resident entries");
   bytes_gauge_ = scope.GetGauge("nagano_cache_bytes", "resident bytes");
 }
@@ -106,6 +129,21 @@ std::shared_ptr<const CachedObject> ObjectCache::Peek(std::string_view key) cons
 }
 
 uint64_t ObjectCache::Put(std::string_view key, std::string body) {
+  auto obj = std::make_shared<CachedObject>();
+  obj->body = std::move(body);
+  return Store(key, std::move(obj));
+}
+
+uint64_t ObjectCache::PutPlan(std::string_view key,
+                              std::vector<PlanChunk> plan) {
+  auto obj = std::make_shared<CachedObject>();
+  obj->plan = std::move(plan);
+  obj->plan_bytes = SumPlanBytes(obj->plan);
+  return Store(key, std::move(obj));
+}
+
+uint64_t ObjectCache::Store(std::string_view key,
+                            std::shared_ptr<CachedObject> obj) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
 
@@ -130,8 +168,6 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
     entries_gauge_->Add(1.0);
   }
 
-  auto obj = std::make_shared<CachedObject>();
-  obj->body = std::move(body);
   obj->version = version;
   obj->stored_at = clock_->Now();
   BuildEntityHeaders(*obj);
@@ -147,6 +183,59 @@ uint64_t ObjectCache::Put(std::string_view key, std::string body) {
     EvictLocked(shard, capacity_bytes_ / shards_.size());
   }
   return version;
+}
+
+uint64_t ObjectCache::PatchPlan(std::string_view key) {
+  // Snapshot the current plan, then resolve fresh fragment pins with no
+  // shard lock held — the fragments hash to arbitrary shards, and taking
+  // two shard locks at once would need a global ordering.
+  std::shared_ptr<const CachedObject> current = Peek(key);
+  if (current == nullptr || !current->is_plan()) return 0;
+
+  std::vector<std::shared_ptr<const CachedObject>> fresh(current->plan.size());
+  for (size_t i = 0; i < current->plan.size(); ++i) {
+    const PlanChunk& chunk = current->plan[i];
+    if (!chunk.is_fragment()) continue;
+    auto snapshot = Peek(chunk.fragment);
+    // A retired (invalidated/evicted) or plan-shaped fragment means the
+    // plan cannot be patched — the caller re-renders the whole page.
+    if (snapshot == nullptr || snapshot->is_plan()) return 0;
+    fresh[i] = std::move(snapshot);
+  }
+
+  auto obj = std::make_shared<CachedObject>();
+  obj->plan = current->plan;
+  for (size_t i = 0; i < obj->plan.size(); ++i) {
+    if (fresh[i] == nullptr) continue;
+    obj->plan[i].source = std::move(fresh[i]);
+    obj->plan[i].fragment_version = obj->plan[i].source->version;
+  }
+  obj->plan_bytes = SumPlanBytes(obj->plan);
+  obj->stored_at = clock_->Now();
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string(key));
+  // Compare object identity: if a concurrent Put/Invalidate replaced the
+  // entry since the snapshot above, that writer wins and the patch aborts.
+  if (it == shard.map.end() || it->second.object != current) return 0;
+
+  obj->version = current->version + 1;
+  BuildEntityHeaders(*obj);
+  const size_t old_footprint = EntryFootprint(it->first, *current);
+  const size_t new_footprint = EntryFootprint(it->first, *obj);
+  shard.bytes += new_footprint;
+  shard.bytes -= old_footprint;
+  bytes_gauge_->Add(static_cast<double>(new_footprint) -
+                    static_cast<double>(old_footprint));
+  it->second.object = std::move(obj);
+  it->second.lru_tick = lru_clock_.fetch_add(1, std::memory_order_relaxed);
+  updates_->Increment();
+  plans_patched_->Increment();
+  if (capacity_bytes_ != 0) {
+    EvictLocked(shard, capacity_bytes_ / shards_.size());
+  }
+  return current->version + 1;
 }
 
 uint64_t ObjectCache::UpdateInPlace(std::string_view key, std::string body) {
@@ -287,6 +376,7 @@ CacheStats ObjectCache::stats() const {
   total.updates_in_place = updates_->value();
   total.invalidations = invalidations_->value();
   total.evictions = evictions_->value();
+  total.plans_patched = plans_patched_->value();
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);

@@ -30,21 +30,67 @@
 
 namespace nagano::cache {
 
+struct CachedObject;
+
+// One piece of a page composition plan: either a static byte run owned by
+// the plan itself, or a reference to an independently cached fragment. A
+// fragment chunk pins the fragment's CachedObject snapshot, so the plan
+// stays serveable even if the fragment entry is replaced or evicted after
+// the plan was stored/patched. Pinned fragment snapshots are always flat
+// (never plans themselves), so bytes() is a single contiguous span.
+struct PlanChunk {
+  std::string text;      // static bytes (empty for fragment chunks)
+  std::string fragment;  // fragment cache key (empty for static chunks)
+  std::shared_ptr<const CachedObject> source;  // pinned fragment snapshot
+  uint64_t fragment_version = 0;  // source->version at pin time
+
+  bool is_fragment() const { return !fragment.empty(); }
+  const std::string& bytes() const;
+};
+
 // Immutable snapshot of a cached object. Returned by shared_ptr so a reader
 // keeps a consistent body even while the trigger monitor replaces the entry.
+//
+// Two shapes share this struct:
+//  * flat entries — `body` holds the bytes, `plan` is empty (fragments and
+//    fragment-free pages);
+//  * composition plans — `body` is empty and `plan` is the ordered chunk
+//    list (static byte runs + pinned fragment refs) whose concatenation is
+//    the page. A fragment swap replaces only the touched chunk refs and the
+//    cheap recomputed entity headers; the static skeleton is never
+//    re-rendered.
 struct CachedObject {
   std::string body;
+  // Composition plan for plan-shaped entries (see above). Empty ⇔ flat.
+  std::vector<PlanChunk> plan;
+  // Sum of plan chunk byte lengths, precomputed at store/patch time so
+  // entity_size() and Content-Length recomputation are O(1).
+  size_t plan_bytes = 0;
   // Ready-to-send entity-header lines for this body, each CRLF-terminated:
   // "Content-Length: N\r\nX-Nagano-Version: V\r\n". Built once per store
-  // (Put/UpdateInPlace) so a cache hit assembles its HTTP header block by
-  // appending this span — Vcache's complete-entity caching: no per-request
-  // itoa, no per-request length math. The version line is the ETag-style
-  // change stamp.
+  // (Put/UpdateInPlace/PutPlan/PatchPlan) so a cache hit assembles its HTTP
+  // header block by appending this span — Vcache's complete-entity caching:
+  // no per-request itoa, no per-request length math. The version line is
+  // the ETag-style change stamp.
   std::string entity_headers;
   uint64_t version = 0;   // monotonically increasing per key
   TimeNs stored_at = 0;   // cache clock at insert/update time
   bool stale = false;     // invalidated but retained as last-known-good
+
+  bool is_plan() const { return !plan.empty(); }
+  // Entity byte length: body.size() for flat entries, summed chunk lengths
+  // for plans — what Content-Length advertises either way.
+  size_t entity_size() const { return is_plan() ? plan_bytes : body.size(); }
+  // The full entity bytes as one string. Flat entries return a copy of
+  // body; plans concatenate their chunks. The serve hot path never calls
+  // this — it splices chunk refs — but include_body callers, digesting
+  // benches, and the consistency audits do.
+  std::string Materialize() const;
 };
+
+inline const std::string& PlanChunk::bytes() const {
+  return is_fragment() ? source->body : text;
+}
 
 // Aliasing views into a cached object: shared_ptrs that point at the body /
 // entity-header strings but share the object's control block, so the serving
@@ -61,6 +107,31 @@ inline std::shared_ptr<const std::string> EntityHeadersRef(
   return std::shared_ptr<const std::string>(object, &object->entity_headers);
 }
 
+// Scatter-gather view of an entity: one aliasing ref per byte run, in page
+// order. Flat entries yield a single BodyRef; plans yield one ref per chunk
+// — static text aliases the plan object, fragment bytes alias the pinned
+// fragment snapshot. Every ref shares a control block with a CachedObject,
+// so handing the vector to the HTTP writer keeps all the bytes alive until
+// the socket flush completes without copying any of them.
+inline std::vector<std::shared_ptr<const std::string>> BodyChunkRefs(
+    const std::shared_ptr<const CachedObject>& object) {
+  std::vector<std::shared_ptr<const std::string>> refs;
+  if (object == nullptr) return refs;
+  if (!object->is_plan()) {
+    if (!object->body.empty()) refs.push_back(BodyRef(object));
+    return refs;
+  }
+  refs.reserve(object->plan.size());
+  for (const PlanChunk& chunk : object->plan) {
+    if (chunk.is_fragment()) {
+      refs.emplace_back(chunk.source, &chunk.source->body);
+    } else if (!chunk.text.empty()) {
+      refs.emplace_back(object, &chunk.text);
+    }
+  }
+  return refs;
+}
+
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -68,6 +139,9 @@ struct CacheStats {
   uint64_t updates_in_place = 0;
   uint64_t invalidations = 0;
   uint64_t evictions = 0;
+  // Composition plans refreshed by PatchPlan (fragment swap without page
+  // re-render) — the fragment-first DUP fast path.
+  uint64_t plans_patched = 0;
   size_t entries = 0;       // live entries; stale retentions not included
   size_t stale_entries = 0; // invalidated-but-retained last-known-good copies
   size_t bytes = 0;
@@ -139,6 +213,24 @@ class ObjectCache {
   // entry counts as absent for the same reason.
   uint64_t UpdateInPlace(std::string_view key, std::string body);
 
+  // Store a composition plan (ordered static chunks + pinned fragment
+  // refs) under `key`. Same versioning and eviction semantics as Put; the
+  // entity headers are computed from the summed chunk lengths. Fragment
+  // chunks must carry a non-null flat `source` snapshot.
+  uint64_t PutPlan(std::string_view key, std::vector<PlanChunk> plan);
+
+  // Fragment swap: re-pin every fragment chunk of `key`'s plan to the
+  // fragment's *current* cached snapshot, recompute Content-Length from the
+  // new chunk lengths, and bump the version — all without touching the
+  // static skeleton. Returns the new version, or 0 (store nothing) when the
+  // key is absent/stale/not a plan, when any referenced fragment is no
+  // longer live in the cache, or when the entry was concurrently replaced —
+  // the caller then falls back to a full re-render. This is the
+  // fragment-first DUP update path: a scoreboard commit re-renders one
+  // fragment and patches every embedding page for the cost of a few
+  // pointer swaps and an itoa.
+  uint64_t PatchPlan(std::string_view key);
+
   // Pinned entries are never evicted by the LRU (the paper's hot pages,
   // which were "never invalidated from the cache").
   void Pin(std::string_view key, bool pinned);
@@ -181,6 +273,10 @@ class ObjectCache {
 
   Shard& ShardFor(std::string_view key);
   const Shard& ShardFor(std::string_view key) const;
+  // Shared insert/replace path behind Put and PutPlan: assigns the next
+  // version, stamps headers and the clock, and does the footprint/LRU
+  // bookkeeping.
+  uint64_t Store(std::string_view key, std::shared_ptr<CachedObject> obj);
   // Evict LRU unpinned entries from `shard` until its bytes fit the
   // per-shard budget. Caller holds the shard lock.
   void EvictLocked(Shard& shard, size_t budget);
@@ -206,6 +302,7 @@ class ObjectCache {
   metrics::Counter* updates_;
   metrics::Counter* invalidations_;
   metrics::Counter* evictions_;
+  metrics::Counter* plans_patched_;
   metrics::Gauge* entries_gauge_;
   metrics::Gauge* bytes_gauge_;
 };

@@ -94,8 +94,11 @@ Result<std::unique_ptr<ServingSite>> ServingSite::CreateAround(
   cache_options.metrics = site_metrics;
   site->cache_ = std::make_unique<cache::ObjectCache>(cache_options);
 
+  pagegen::RendererOptions renderer_options;
+  renderer_options.compose_pages = site->options_.compose_pages;
+  renderer_options.metrics = site_metrics;
   site->renderer_ = std::make_unique<pagegen::PageRenderer>(
-      site->graph_.get(), site->cache_.get(), site_metrics);
+      site->graph_.get(), site->cache_.get(), renderer_options);
   pagegen::OlympicSite::RegisterGenerators(site->options_.olympic,
                                            site->db_.get(),
                                            site->renderer_.get());
@@ -243,17 +246,45 @@ Result<size_t> ServingSite::VerifyCacheConsistency() {
   auto verify_one = [&](const std::string& key,
                         const cache::CachedObject& object) -> Status {
     // The pre-serialized entity prefix travels to clients verbatim on the
-    // zero-copy hit path, so it must agree with the body it rides with.
+    // zero-copy hit path, so it must agree with the entity it rides with —
+    // for a composition plan, with the summed chunk lengths.
     const std::string expected_headers =
-        "Content-Length: " + std::to_string(object.body.size()) +
+        "Content-Length: " + std::to_string(object.entity_size()) +
         "\r\nX-Nagano-Version: " + std::to_string(object.version) + "\r\n";
     if (object.entity_headers != expected_headers) {
       return InternalError("entity headers out of sync for: " + key);
     }
+    if (object.is_plan()) {
+      size_t summed = 0;
+      for (const cache::PlanChunk& chunk : object.plan) {
+        if (chunk.is_fragment()) {
+          if (chunk.source == nullptr) {
+            return InternalError("plan for " + key +
+                                 " has a fragment chunk with no snapshot: " +
+                                 chunk.fragment);
+          }
+          if (chunk.source->is_plan()) {
+            return InternalError("plan for " + key +
+                                 " pins a non-flat fragment: " + chunk.fragment);
+          }
+          // At quiescence no plan may serve a retired snapshot: the chunk
+          // must pin the very object the fragment's live entry holds.
+          if (cache_->Peek(chunk.fragment) != chunk.source) {
+            return InternalError("plan for " + key +
+                                 " references a retired snapshot of " +
+                                 chunk.fragment);
+          }
+        }
+        summed += chunk.bytes().size();
+      }
+      if (summed != object.plan_bytes) {
+        return InternalError("plan_bytes out of sync for: " + key);
+      }
+    }
     if (!renderer_->CanGenerate(key)) return Status::Ok();  // foreign entry
     auto fresh = renderer_->RenderOnly(key);
     if (!fresh.ok()) return fresh.status();
-    if (fresh.value() != object.body) {
+    if (fresh.value() != object.Materialize()) {
       return InternalError("stale cache entry: " + key);
     }
     ++checked;

@@ -64,6 +64,12 @@ struct SiteOptions : OptionsBase {
   // admission control).
   bool coalesce_renders = true;
   size_t max_concurrent_renders = 0;
+  // Fragment-first composition (pagegen::RendererOptions::compose_pages):
+  // pages embedding fragments are cached as composition plans — static
+  // chunks + pinned fragment refs — so a fragment commit patches every
+  // embedding page in place instead of re-rendering it. Off = whole-page
+  // mode, the pre-plan baseline the update bench compares against.
+  bool compose_pages = true;
   // Registry + "site" label shared by every subsystem this site builds
   // (cache, trigger, renderer, serving path, ODG, database, access log).
   // An empty instance label keeps auto-assignment per subsystem, so test

@@ -205,9 +205,14 @@ void HttpResponse::SerializeHeaders(std::string& out,
 }
 
 std::string HttpResponse::Serialize() const {
-  const std::string& payload = BodyView();
   std::string out;
   SerializeHeaders(out);  // reserves the header block exactly
+  if (!body_chunks.empty()) {
+    out.reserve(out.size() + BodySize());
+    for (const auto& chunk : body_chunks) out.append(*chunk);
+    return out;
+  }
+  const std::string& payload = BodyView();
   out.reserve(out.size() + payload.size());
   out.append(payload);
   return out;

@@ -53,17 +53,32 @@ struct HttpResponse {
   // entry is replaced mid-write.
   std::shared_ptr<const std::string> body_ref;
 
+  // Scatter-gather entity: when non-empty, the concatenation of these
+  // strings is the response body and both `body` and `body_ref` are
+  // ignored. Each ref aliases a cached object (a composition plan's static
+  // chunk or a pinned fragment snapshot), so a composed page is written one
+  // chunk at a time without ever assembling it — the writer holds the refs
+  // until the last byte is flushed.
+  std::vector<std::shared_ptr<const std::string>> body_chunks;
+
   // Pre-serialized entity-header lines ("Content-Length: N\r\n...", each
   // CRLF-terminated) owned by the cache entry and appended verbatim to the
   // header block. When set, the serializer must NOT emit its own
   // Content-Length — the prefix already carries one.
   std::shared_ptr<const std::string> header_ref;
 
-  // The entity regardless of which field carries it.
+  // The entity when a single backing string carries it. A scatter-gather
+  // response (body_chunks) has no one span — callers must check
+  // body_chunks first, as BodySize and Serialize do.
   const std::string& BodyView() const {
     return body_ref != nullptr ? *body_ref : body;
   }
-  size_t BodySize() const { return BodyView().size(); }
+  size_t BodySize() const {
+    if (body_chunks.empty()) return BodyView().size();
+    size_t total = 0;
+    for (const auto& chunk : body_chunks) total += chunk->size();
+    return total;
+  }
 
   static HttpResponse Ok(std::string body,
                          std::string content_type = "text/html");

@@ -443,7 +443,18 @@ void HttpServer::EnqueueResponse(Reactor& r, Connection& conn,
   response.SerializeHeaders(head.owned, DateLine(r));
   conn.pending += head.owned.size();
   conn.out.push_back(std::move(head));
-  if (response.body_ref != nullptr) {
+  if (!response.body_chunks.empty()) {
+    // Scatter-gather zero-copy: a composed page's plan chunks (static text
+    // + pinned fragment snapshots) are queued one ref apiece and flow to
+    // the socket via writev — the page is never assembled in memory.
+    for (auto& chunk : response.body_chunks) {
+      if (chunk == nullptr || chunk->empty()) continue;
+      OutChunk body;
+      body.ref = std::move(chunk);
+      conn.pending += body.ref->size();
+      conn.out.push_back(std::move(body));
+    }
+  } else if (response.body_ref != nullptr) {
     // Zero-copy: the queue holds a reference into the cached entity; the
     // bytes flow to the socket via writev without ever being copied into
     // the connection. The ref keeps the entity alive through the flush.

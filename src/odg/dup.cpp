@@ -138,6 +138,10 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
                   return a.id < b.id;
                 });
       result.num_levels = result.affected.empty() ? 0 : 1;
+      // Bipartite closure = changed inputs + their out-neighbours.
+      for (NodeId v = 0; v < n; ++v) {
+        if (is_changed[v] || emitted[v]) result.obsolete.push_back(v);
+      }
       return result;
     }
 
@@ -161,7 +165,10 @@ DupResult DupEngine::ComputeAffected(const ObjectDependenceGraph& graph,
         }
       }
     }
-    for (NodeId v = 0; v < n; ++v) result.visited += reachable[v];
+    for (NodeId v = 0; v < n; ++v) {
+      result.visited += reachable[v];
+      if (reachable[v]) result.obsolete.push_back(v);
+    }
 
     // 2. Condense cycles among reachable vertices.
     TarjanScc scc(out, reachable);

@@ -54,6 +54,15 @@ struct DupResult {
   // size of the traversal frontier, for the DUPSCALE bench.
   size_t visited = 0;
 
+  // Every vertex of the propagation closure — the changed inputs plus
+  // everything reachable from them (affected objects, sub-threshold
+  // objects, and pure-data intermediates), sorted by NodeId. The trigger
+  // monitor's plan-patch decision reads this: a page's composition plan can
+  // be patched in place iff every obsolete in-edge source is a fragment the
+  // plan embeds; any obsolete non-fragment input means the page's static
+  // skeleton may have changed and a full re-render is required.
+  std::vector<NodeId> obsolete;
+
   // 1 + the largest AffectedObject::level (0 when nothing is affected).
   // The parallel re-render pipeline runs this many barrier-separated stages.
   uint32_t num_levels = 0;

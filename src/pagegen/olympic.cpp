@@ -1005,6 +1005,10 @@ void OlympicSite::RegisterGenerators(const OlympicConfig& config, Database* db,
           ctx.Set("p", p).Set("day", *day);
           std::vector<TemplateContext> items;
           for (const Row& r : events) {
+            // Status is read straight off the row, so freshness needs the
+            // per-event node — the membership node above only covers which
+            // events appear.
+            req.deps.DependsOnData(EventNode(AsInt(r[events_col::kId])));
             items.emplace_back()
                 .Set("id", AsInt(r[events_col::kId]))
                 .Set("event_name", AsString(r[events_col::kName]))
@@ -1043,6 +1047,8 @@ void OlympicSite::RegisterGenerators(const OlympicConfig& config, Database* db,
           auto events = db->Lookup("events", "venue", Value(name));
           std::vector<TemplateContext> items;
           for (const Row& r : events) {
+            // Same as the schedule page: status comes off the row itself.
+            req.deps.DependsOnData(EventNode(AsInt(r[events_col::kId])));
             items.emplace_back()
                 .Set("id", AsInt(r[events_col::kId]))
                 .Set("event_name", AsString(r[events_col::kName]))
@@ -1118,9 +1124,16 @@ std::vector<std::string> OlympicSite::MapChangeToDataNodes(
       return nodes;
     }
     nodes.push_back(EventNode(AsInt(change.row[events_col::kId])));
-    nodes.push_back(EventDayNode(AsInt(change.row[events_col::kDay])));
-    nodes.push_back(EventSportNode(AsInt(change.row[events_col::kSportId])));
-    nodes.push_back(EventVenueNode(AsString(change.row[events_col::kVenue])));
+    // Day/sport/venue membership is fixed when the event row is inserted;
+    // updates touch mutable columns only (status), which pages read through
+    // the per-event node. Keeping membership nodes out of the update mapping
+    // is what lets a completion patch day/sport plans instead of re-rendering
+    // them.
+    if (change.op != db::ChangeOp::kUpdate) {
+      nodes.push_back(EventDayNode(AsInt(change.row[events_col::kDay])));
+      nodes.push_back(EventSportNode(AsInt(change.row[events_col::kSportId])));
+      nodes.push_back(EventVenueNode(AsString(change.row[events_col::kVenue])));
+    }
   } else if (change.table == "medals") {
     if (is_delete || change.row.empty()) {
       nodes.push_back(kMedalsAllNode);

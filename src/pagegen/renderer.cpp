@@ -2,16 +2,46 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace nagano::pagegen {
+namespace {
+
+// Sentinels the composition-mode fragment resolver returns in place of the
+// fragment body. Generators splice the resolver's result verbatim (raw
+// {{{...}}} substitution), so the flat output can be split back into static
+// chunks and fragment refs afterwards. The bytes contain control characters
+// that never occur in rendered content.
+constexpr std::string_view kFragMarkOpen = "\x01\x02";
+constexpr std::string_view kFragMarkClose = "\x02\x01";
+
+// How long a coalesced render waits for the leading flight before giving up
+// and rendering on its own. Only a cross-thread include cycle (two leaders
+// mutually waiting on each other's fragments) can hit this; the fallback
+// render then reports the cycle through the ordinary stack check.
+constexpr std::chrono::seconds kFlightFallback{2};
+
+RendererOptions WithMetrics(const metrics::Options& metrics_options) {
+  RendererOptions options;
+  options.metrics = metrics_options;
+  return options;
+}
+
+}  // namespace
 
 PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
                            cache::ObjectCache* cache,
                            const metrics::Options& metrics_options)
-    : graph_(graph), cache_(cache) {
+    : PageRenderer(graph, cache, WithMetrics(metrics_options)) {}
+
+PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
+                           cache::ObjectCache* cache, RendererOptions options)
+    : graph_(graph),
+      cache_(cache),
+      options_(ValidateOrDie(options, "RendererOptions")) {
   assert(graph_ != nullptr);
   assert(cache_ != nullptr);
-  const auto scope = metrics::Scope::Resolve(metrics_options, "renderer");
+  const auto scope = metrics::Scope::Resolve(options_.metrics, "renderer");
   pages_rendered_ = scope.GetCounter("nagano_renderer_pages_rendered_total",
                                      "successful page/fragment renders");
   fragment_cache_hits_ =
@@ -19,6 +49,11 @@ PageRenderer::PageRenderer(odg::ObjectDependenceGraph* graph,
                        "fragments spliced straight from cache");
   generator_errors_ = scope.GetCounter("nagano_renderer_generator_errors_total",
                                        "generator invocations that failed");
+  plans_stored_ = scope.GetCounter("nagano_renderer_plans_stored_total",
+                                   "pages stored as composition plans");
+  renders_coalesced_ =
+      scope.GetCounter("nagano_renderer_renders_coalesced_total",
+                       "renders adopting a concurrent flight's result");
 }
 
 void PageRenderer::RegisterExact(std::string name, PageGenerator generator) {
@@ -77,26 +112,108 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
     return NotFoundError("no generator for " + page_name);
   }
 
+  // RenderOnly keeps fresh-render semantics, so only caching renders
+  // coalesce.
+  if (!store || !options_.coalesce_renders) {
+    return RenderUncoalesced(page_name, *generator, store, state);
+  }
+
+  std::shared_ptr<RenderFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(page_name);
+    if (it == flights_.end()) {
+      flight = std::make_shared<RenderFlight>();
+      flights_.emplace(page_name, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (leader) {
+    Result<std::string> body =
+        RenderUncoalesced(page_name, *generator, store, state);
+    {
+      // Retire the flight before publishing: late arrivals start a fresh
+      // render against the now-populated cache instead of joining a
+      // finished one.
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      auto it = flights_.find(page_name);
+      if (it != flights_.end() && it->second == flight) flights_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->body = body;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    return body;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    if (flight->cv.wait_for(lock, kFlightFallback,
+                            [&] { return flight->done; })) {
+      Result<std::string> body = flight->body;
+      lock.unlock();
+      renders_coalesced_->Increment();
+      return body;
+    }
+  }
+  // Leader stuck (cross-thread include cycle): render independently; the
+  // stack check in the recursive render reports genuine cycles.
+  return RenderUncoalesced(page_name, *generator, store, state);
+}
+
+Result<std::string> PageRenderer::RenderUncoalesced(
+    const std::string& page_name, const PageGenerator& generator, bool store,
+    RenderState& state) {
   state.stack.push_back(page_name);
 
   DependencyRecorder recorder;
   std::vector<std::string> fragments_used;
   uint64_t fragment_hits = 0;
+  const bool compose = options_.compose_pages;
 
   // Fragments come from the cache when present; otherwise they are rendered
   // (and cached) recursively, sharing this render's cycle-detection stack.
+  // In composition mode the resolver only *ensures* the fragment is cached
+  // and hands the generator an opaque marker; the flat output is split on
+  // the markers into this page's composition plan afterwards.
   FragmentResolver resolver =
       [&](std::string_view fragment) -> Result<std::string> {
     fragments_used.emplace_back(fragment);
-    if (auto cached = cache_->Peek(fragment)) {
-      ++fragment_hits;
-      return cached->body;
+    if (!compose) {
+      if (auto cached = cache_->Peek(fragment)) {
+        ++fragment_hits;
+        return cached->body;
+      }
+      return RenderInternal(fragment, /*store=*/true, state);
     }
-    return RenderInternal(fragment, /*store=*/true, state);
+    if (cache_->Contains(fragment)) {
+      ++fragment_hits;
+    } else {
+      Result<std::string> rendered =
+          RenderInternal(fragment, /*store=*/true, state);
+      if (!rendered.ok()) return rendered;
+    }
+    std::string marker(kFragMarkOpen);
+    marker += fragment;
+    marker += kFragMarkClose;
+    return marker;
   };
 
-  RenderRequest request{page, recorder, resolver};
-  Result<std::string> body = (*generator)(request);
+  RenderRequest request{page_name, recorder, resolver};
+  Result<std::string> body = generator(request);
+
+  std::vector<cache::PlanChunk> plan;
+  if (body.ok() && compose && !fragments_used.empty()) {
+    // Still on the stack: the rare inline-fallback re-render inside
+    // ExtractPlan shares this render's cycle detection.
+    body = ExtractPlan(body.value(), state, plan);
+  }
 
   state.stack.pop_back();
 
@@ -125,7 +242,15 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
   graph_->SetInEdges(page_node, std::move(sources));
 
   if (store) {
-    cache_->Put(page_name, body.value());
+    const bool has_fragment_chunk =
+        std::any_of(plan.begin(), plan.end(),
+                    [](const cache::PlanChunk& c) { return c.is_fragment(); });
+    if (has_fragment_chunk) {
+      cache_->PutPlan(page_name, std::move(plan));
+      plans_stored_->Increment();
+    } else {
+      cache_->Put(page_name, body.value());
+    }
   }
 
   pages_rendered_->Increment();
@@ -133,11 +258,67 @@ Result<std::string> PageRenderer::RenderInternal(std::string_view page,
   return body;
 }
 
+Result<std::string> PageRenderer::ExtractPlan(
+    const std::string& raw, RenderState& state,
+    std::vector<cache::PlanChunk>& plan) {
+  std::string pending;  // static bytes accumulated since the last fragment
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    const size_t open = raw.find(kFragMarkOpen, pos);
+    if (open == std::string::npos) break;
+    const size_t name_at = open + kFragMarkOpen.size();
+    const size_t close = raw.find(kFragMarkClose, name_at);
+    if (close == std::string::npos) break;
+    pending.append(raw, pos, open - pos);
+    const std::string fragment = raw.substr(name_at, close - name_at);
+    pos = close + kFragMarkClose.size();
+
+    auto source = cache_->Peek(fragment);
+    if (source != nullptr && !source->is_plan()) {
+      if (!pending.empty()) {
+        cache::PlanChunk chunk;
+        chunk.text = std::move(pending);
+        pending.clear();
+        plan.push_back(std::move(chunk));
+      }
+      cache::PlanChunk chunk;
+      chunk.fragment = fragment;
+      chunk.fragment_version = source->version;
+      chunk.source = std::move(source);
+      plan.push_back(std::move(chunk));
+      continue;
+    }
+    // The fragment vanished between the resolver and here (capacity
+    // eviction) or is itself plan-shaped — inline its bytes as static text
+    // so chunk refs stay flat, single-span views.
+    Result<std::string> inlined =
+        source != nullptr ? Result<std::string>(source->Materialize())
+                          : RenderInternal(fragment, /*store=*/false, state);
+    if (!inlined.ok()) return inlined;
+    pending += inlined.value();
+  }
+  pending.append(raw, pos, raw.size() - pos);
+  if (!pending.empty()) {
+    cache::PlanChunk chunk;
+    chunk.text = std::move(pending);
+    plan.push_back(std::move(chunk));
+  }
+
+  std::string materialized;
+  size_t total = 0;
+  for (const cache::PlanChunk& chunk : plan) total += chunk.bytes().size();
+  materialized.reserve(total);
+  for (const cache::PlanChunk& chunk : plan) materialized += chunk.bytes();
+  return materialized;
+}
+
 RendererStats PageRenderer::stats() const {
   RendererStats out;
   out.pages_rendered = pages_rendered_->value();
   out.fragment_cache_hits = fragment_cache_hits_->value();
   out.generator_errors = generator_errors_->value();
+  out.plans_stored = plans_stored_->value();
+  out.renders_coalesced = renders_coalesced_->value();
   return out;
 }
 

@@ -10,16 +10,20 @@
 // what a page actually contains.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/object_cache.h"
 #include "common/metrics.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "odg/graph.h"
@@ -63,12 +67,36 @@ struct RendererStats {
   uint64_t pages_rendered = 0;
   uint64_t fragment_cache_hits = 0;  // fragments spliced straight from cache
   uint64_t generator_errors = 0;
+  // Pages stored as composition plans (static chunks + fragment refs)
+  // instead of flat bodies.
+  uint64_t plans_stored = 0;
+  // Renders that adopted a concurrent in-flight render's result instead of
+  // running the generator again (fragment-granularity single-flight: two
+  // pages racing on one hot fragment cost one fragment render).
+  uint64_t renders_coalesced = 0;
+};
+
+struct RendererOptions : OptionsBase {
+  // Store pages that splice at least one fragment as composition plans
+  // (ordered static chunks + pinned fragment refs, cache::PlanChunk) rather
+  // than flat bodies. A data change then re-renders only the touched
+  // fragment; every embedding page is patched by fragment swap. false is
+  // the whole-page baseline the fanout bench compares against.
+  bool compose_pages = true;
+  // Coalesce concurrent renders of the same object into one generator run
+  // (single-flight, per object name — fragments included).
+  bool coalesce_renders = true;
+  metrics::Options metrics;
+
+  Status Validate() const { return Status::Ok(); }
 };
 
 class PageRenderer {
  public:
   PageRenderer(odg::ObjectDependenceGraph* graph, cache::ObjectCache* cache,
                const metrics::Options& metrics_options = {});
+  PageRenderer(odg::ObjectDependenceGraph* graph, cache::ObjectCache* cache,
+               RendererOptions options);
 
   // Exact-name generator ("/medals") or prefix family ("/athlete/"). When
   // both match, exact wins; among prefixes, the longest wins.
@@ -94,12 +122,34 @@ class PageRenderer {
     std::vector<std::string> stack;  // active renders, for cycle detection
   };
 
+  // One in-progress render that concurrent requests for the same object
+  // attach to instead of running the generator again.
+  struct RenderFlight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::string> body{std::string()};  // overwritten at publish
+  };
+
   Result<std::string> RenderInternal(std::string_view page, bool store,
                                      RenderState& state);
+  // The actual generator run (no single-flight): runs the generator, splits
+  // composition plans out of the flat output, syncs the ODG, and stores.
+  Result<std::string> RenderUncoalesced(const std::string& page_name,
+                                        const PageGenerator& generator,
+                                        bool store, RenderState& state);
+  // Splits `raw` (generator output with fragment markers) into `plan` and
+  // returns the materialized marker-free bytes.
+  Result<std::string> ExtractPlan(const std::string& raw, RenderState& state,
+                                  std::vector<cache::PlanChunk>& plan);
   const PageGenerator* FindGenerator(std::string_view page) const;
 
   odg::ObjectDependenceGraph* graph_;
   cache::ObjectCache* cache_;
+  RendererOptions options_;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<RenderFlight>> flights_;
 
   // Registration happens at site construction; every render takes the
   // shared side, so the trigger monitor's parallel re-render workers never
@@ -114,6 +164,8 @@ class PageRenderer {
   metrics::Counter* pages_rendered_;
   metrics::Counter* fragment_cache_hits_;
   metrics::Counter* generator_errors_;
+  metrics::Counter* plans_stored_;
+  metrics::Counter* renders_coalesced_;
 };
 
 }  // namespace nagano::pagegen

@@ -9,6 +9,38 @@
 #include "server/access_log.h"
 
 namespace nagano::server {
+namespace {
+
+// Copies the shared entity bytes into out.body (include_body callers only):
+// one string copy from body_ref, or the chunk concatenation for plans.
+void CopySharedBody(ServeOutcome& out) {
+  if (out.body_ref != nullptr) {
+    out.body = *out.body_ref;
+    return;
+  }
+  if (out.body_chunks.empty()) return;
+  size_t total = 0;
+  for (const auto& chunk : out.body_chunks) total += chunk->size();
+  out.body.reserve(total);
+  for (const auto& chunk : out.body_chunks) out.body += *chunk;
+}
+
+// Fills the zero-copy handles of `out` from a cached object: flat entries
+// travel as a single body_ref, composition plans as one ref per chunk.
+void FillCachedEntity(ServeOutcome& out,
+                      const std::shared_ptr<const cache::CachedObject>& obj,
+                      bool include_body) {
+  out.bytes = obj->entity_size();
+  out.entity_headers = cache::EntityHeadersRef(obj);
+  if (obj->is_plan()) {
+    out.body_chunks = cache::BodyChunkRefs(obj);
+  } else {
+    out.body_ref = cache::BodyRef(obj);
+  }
+  if (include_body) CopySharedBody(out);
+}
+
+}  // namespace
 
 Status RetryOptions::Validate() const {
   if (max_attempts == 0) {
@@ -178,11 +210,8 @@ ServeOutcome DynamicPageServer::DegradeToStale(std::string_view path,
       stale_serves_->Increment();
       out.cls = ServeClass::kDegradedStale;
       out.cpu_cost = options_.costs.cached_dynamic;
-      out.bytes = stale->body.size();
       out.stale_age = std::max<TimeNs>(0, clock_->Now() - stale->stored_at);
-      out.body_ref = cache::BodyRef(stale);
-      out.entity_headers = cache::EntityHeadersRef(stale);
-      if (include_body) out.body = stale->body;
+      FillCachedEntity(out, stale, include_body);
       return out;
     }
   }
@@ -224,12 +253,9 @@ ServeOutcome DynamicPageServer::Shed(std::string_view path, bool include_body,
       shed_softened_->Increment();
       out.cls = ServeClass::kDegradedStale;
       out.cpu_cost = options_.costs.cached_dynamic;
-      out.bytes = stale->body.size();
       out.stale_age = std::max<TimeNs>(0, clock_->Now() - stale->stored_at);
-      out.body_ref = cache::BodyRef(stale);
-      out.entity_headers = cache::EntityHeadersRef(stale);
       out.error = std::move(why);
-      if (include_body) out.body = stale->body;
+      FillCachedEntity(out, stale, include_body);
       return out;
     }
   }
@@ -319,9 +345,9 @@ ServeOutcome DynamicPageServer::LeadRender(std::string_view path,
     // Serve by reference: RenderAndCache just stored the page, so alias the
     // cached object and the whole fan-out — leader, waiters, and the HTTP
     // write path — shares one ref-counted copy (misses are zero-copy too).
+    // A composed page arrives as per-chunk refs, same as a cache hit.
     if (auto cached = cache_->Peek(path)) {
-      out.body_ref = cache::BodyRef(cached);
-      out.entity_headers = cache::EntityHeadersRef(cached);
+      FillCachedEntity(out, cached, /*include_body=*/false);
     } else {
       // A concurrent invalidation dropped the entry between store and
       // publish: wrap the rendered body so the fan-out still shares refs.
@@ -355,9 +381,7 @@ ServeOutcome DynamicPageServer::LeadRender(std::string_view path,
     flight->done = true;
   }
   flight->cv.notify_all();
-  if (include_body && out.body.empty() && out.body_ref != nullptr) {
-    out.body = *out.body_ref;
-  }
+  if (include_body && out.body.empty()) CopySharedBody(out);
   return out;
 }
 
@@ -382,7 +406,7 @@ ServeOutcome DynamicPageServer::AwaitFlight(
     out = flight->outcome;  // body empty; the refs are shared
     lock.unlock();
     CountAdopted(out);
-    if (include_body && out.body_ref != nullptr) out.body = *out.body_ref;
+    if (include_body) CopySharedBody(out);
   } else {
     lock.unlock();
     coalesce_timeouts_->Increment();
@@ -409,10 +433,7 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       static_hits_->Increment();
       out.cls = ServeClass::kStatic;
       out.cpu_cost = options_.costs.static_page;
-      out.bytes = it->second->body.size();
-      out.body_ref = cache::BodyRef(it->second);
-      out.entity_headers = cache::EntityHeadersRef(it->second);
-      if (include_body) out.body = it->second->body;
+      FillCachedEntity(out, it->second, include_body);
       return out;
     }
   }
@@ -425,10 +446,7 @@ ServeOutcome DynamicPageServer::ServeInternal(std::string_view path,
       cache_hits_->Increment();
       out.cls = ServeClass::kCacheHit;
       out.cpu_cost = options_.costs.cached_dynamic;
-      out.bytes = cached.value()->body.size();
-      out.body_ref = cache::BodyRef(cached.value());
-      out.entity_headers = cache::EntityHeadersRef(cached.value());
-      if (include_body) out.body = cached.value()->body;
+      FillCachedEntity(out, cached.value(), include_body);
       return out;
     }
   }
@@ -584,8 +602,9 @@ http::HttpResponse HttpFrontEnd::Handle(const http::HttpRequest& request) {
       program_->Serve(request.Path(), /*include_body=*/false, deadline);
   const auto fill_entity = [&request, &outcome](http::HttpResponse& r) {
     if (request.method == "HEAD") return;  // keep Content-Length: 0
-    if (outcome.body_ref != nullptr) {
+    if (outcome.body_ref != nullptr || !outcome.body_chunks.empty()) {
       r.body_ref = std::move(outcome.body_ref);
+      r.body_chunks = std::move(outcome.body_chunks);
       r.header_ref = std::move(outcome.entity_headers);
     } else {
       r.body = std::move(outcome.body);

@@ -83,6 +83,13 @@ struct ServeOutcome {
   // prefix. They alias the cached object, so the page stays alive until
   // the last holder (e.g. an in-flight socket write) drops it.
   std::shared_ptr<const std::string> body_ref;
+  // Scatter-gather alternative to body_ref, set when the cached source is a
+  // composition plan: one ref per chunk (static text aliasing the plan
+  // object, fragment bytes aliasing the pinned fragment snapshot), in body
+  // order. The HTTP layer splices them straight into the socket write queue
+  // — a composed page is served with zero body copies, same as a flat one.
+  // Mutually exclusive with body_ref.
+  std::vector<std::shared_ptr<const std::string>> body_chunks;
   std::shared_ptr<const std::string> entity_headers;
   uint32_t retries = 0;   // transparent retry attempts beyond the first
   TimeNs stale_age = 0;   // kDegradedStale: age of the copy served

@@ -86,6 +86,12 @@ TriggerMonitor::TriggerMonitor(db::Database* db,
                        "affected but uncached objects left to on-demand render");
   render_failures_ = scope.GetCounter("nagano_trigger_render_failures_total",
                                       "regenerations that failed");
+  plans_patched_ = scope.GetCounter(
+      "nagano_trigger_plans_patched_total",
+      "composition plans refreshed by fragment swap (no page re-render)");
+  rerendered_bytes_ = scope.GetCounter(
+      "nagano_dup_rerendered_bytes_total",
+      "bytes produced by update-in-place re-renders");
   changes_coalesced_ =
       scope.GetCounter("nagano_trigger_changes_coalesced_total",
                        "changes that rode along in a multi-change batch");
@@ -107,6 +113,8 @@ TriggerMonitor::TriggerMonitor(db::Database* db,
                          "commit to cache-consistent latency per batch (ms)");
   fanout_ = scope.GetHistogram("nagano_trigger_fanout",
                                "affected objects per batch");
+  fanout_bytes_ = scope.GetHistogram("nagano_dup_fanout_bytes",
+                                     "bytes re-rendered per update batch");
   batch_apply_ms_ = scope.GetHistogram(
       "nagano_trigger_batch_apply_ms",
       "regenerate + distribute wall time per batch (ms)");
@@ -301,6 +309,32 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup,
   // feed day produces the same render schedule at any worker count.
   enum class Outcome { kUpdated, kSkipped, kFailed };
   std::atomic<uint64_t> updated{0}, failures{0}, skipped{0}, attempted{0};
+  std::atomic<uint64_t> patched{0}, bytes_rerendered{0};
+
+  // dup.obsolete is NodeId-sorted, so closure membership is a binary search.
+  auto in_closure = [&](odg::NodeId id) {
+    return std::binary_search(dup.obsolete.begin(), dup.obsolete.end(), id);
+  };
+  // A cached composition plan can absorb this update by fragment swap iff
+  // every obsolete input feeding the page is a fragment the plan embeds.
+  // Any obsolete direct data dependence (or a fragment the plan does not
+  // carry — the layout changed since the plan was stored) forces a full
+  // re-render.
+  auto plan_patchable = [&](const odg::AffectedObject& obj,
+                            const cache::CachedObject& cached) {
+    for (const odg::Edge& e : graph_->InEdges(obj.id)) {
+      if (!in_closure(e.to)) continue;
+      if (graph_->kind(e.to) != odg::NodeKind::kBoth) return false;
+      const std::string_view frag = graph_->name(e.to);
+      const bool in_plan =
+          std::any_of(cached.plan.begin(), cached.plan.end(),
+                      [&](const cache::PlanChunk& chunk) {
+                        return chunk.fragment == frag;
+                      });
+      if (!in_plan) return false;
+    }
+    return true;
+  };
 
   auto regenerate = [&](const odg::AffectedObject& obj) -> Outcome {
     const std::string name(graph_->name(obj.id));
@@ -309,9 +343,29 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup,
     const bool in_fleet =
         options_.fleet != nullptr && options_.fleet->ContainsAnywhere(name);
     if (!cache_->Contains(name) && !in_fleet) return Outcome::kSkipped;
+
+    // Fragment-first fast path: the level barrier already refreshed every
+    // fragment this page embeds, so the plan just re-pins them and
+    // recomputes its entity headers — no generator run, ~zero fanout bytes.
+    if (const auto cached = cache_->Peek(name);
+        cached != nullptr && cached->is_plan() &&
+        plan_patchable(obj, *cached) && cache_->PatchPlan(name) != 0) {
+      patched.fetch_add(1, std::memory_order_relaxed);
+      // Fleet nodes hold flat copies; distribution materializes once.
+      if (options_.fleet != nullptr) {
+        if (const auto fresh = cache_->Peek(name)) {
+          options_.fleet->PutAll(name, fresh->Materialize());
+        }
+      }
+      propagation_latency_ms_->Observe(
+          std::max(0.0, ToMillis(clock_->Now() - oldest_commit)));
+      return Outcome::kUpdated;
+    }
+
     attempted.fetch_add(1, std::memory_order_relaxed);
     auto body = renderer_->RenderAndCache(name);
     if (!body.ok()) return Outcome::kFailed;
+    bytes_rerendered.fetch_add(body.value().size(), std::memory_order_relaxed);
     // Fig. 6 distribution: push the fresh copy to every serving node.
     if (options_.fleet != nullptr) {
       options_.fleet->PutAll(name, body.value());
@@ -371,6 +425,9 @@ void TriggerMonitor::ApplyUpdateInPlace(const odg::DupResult& dup,
   objects_skipped_->Increment(skipped.load());
   renders_attempted_->Increment(attempted.load());
   render_jobs_->Increment(jobs);
+  plans_patched_->Increment(patched.load());
+  rerendered_bytes_->Increment(bytes_rerendered.load());
+  fanout_bytes_->Observe(static_cast<double>(bytes_rerendered.load()));
   batch_levels_->Observe(static_cast<double>(dup.num_levels));
 }
 
@@ -424,6 +481,8 @@ TriggerStats TriggerMonitor::stats() const {
   s.objects_invalidated = objects_invalidated_->value();
   s.objects_skipped = objects_skipped_->value();
   s.render_failures = render_failures_->value();
+  s.plans_patched = plans_patched_->value();
+  s.rerendered_bytes = rerendered_bytes_->value();
   s.changes_coalesced = changes_coalesced_->value();
   s.render_jobs = render_jobs_->value();
   s.renders_attempted = renders_attempted_->value();
@@ -432,6 +491,7 @@ TriggerStats TriggerMonitor::stats() const {
   s.duplicates_injected = duplicates_injected_->value();
   s.update_latency_ms = update_latency_ms_->snapshot();
   s.fanout = fanout_->snapshot();
+  s.fanout_bytes = fanout_bytes_->snapshot();
   s.batch_apply_ms = batch_apply_ms_->snapshot();
   s.batch_levels = batch_levels_->snapshot();
   s.propagation_latency_ms = propagation_latency_ms_->snapshot();

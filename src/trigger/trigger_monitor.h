@@ -120,6 +120,14 @@ struct TriggerStats {
   uint64_t objects_invalidated = 0;
   uint64_t objects_skipped = 0;      // affected but uncached (regenerate on demand)
   uint64_t render_failures = 0;
+  // Composition plans refreshed by fragment swap instead of a page
+  // re-render (the fragment-first DUP fast path).
+  uint64_t plans_patched = 0;
+  // Total bytes produced by update-in-place re-renders (registry name
+  // nagano_dup_rerendered_bytes_total). A patched plan contributes nothing
+  // — only the re-rendered fragment's bytes count — so this is the
+  // fragment-vs-whole-page fanout cost the update bench gates on.
+  uint64_t rerendered_bytes = 0;
   // --- fault-path counters ------------------------------------------------
   uint64_t notifications_dropped = 0;    // injected drops (lost notifications)
   uint64_t notifications_recovered = 0;  // changes healed from the change log
@@ -130,6 +138,7 @@ struct TriggerStats {
   uint64_t renders_attempted = 0;    // regenerations tried (updated + failed)
   Histogram update_latency_ms;       // commit -> cache consistent, per batch
   Histogram fanout;                  // affected objects per batch
+  Histogram fanout_bytes;            // bytes re-rendered per batch/commit
   Histogram batch_apply_ms;          // regenerate + distribute time per batch
   Histogram batch_levels;            // topological stages per update-in-place batch
   // Commit -> cache-visible, per affected object (registry name
@@ -227,6 +236,8 @@ class TriggerMonitor {
   metrics::Counter* objects_invalidated_;
   metrics::Counter* objects_skipped_;
   metrics::Counter* render_failures_;
+  metrics::Counter* plans_patched_;
+  metrics::Counter* rerendered_bytes_;
   metrics::Counter* changes_coalesced_;
   metrics::Counter* render_jobs_;
   metrics::Counter* renders_attempted_;
@@ -235,6 +246,7 @@ class TriggerMonitor {
   metrics::Counter* duplicates_injected_;
   metrics::Histogram* update_latency_ms_;
   metrics::Histogram* fanout_;
+  metrics::Histogram* fanout_bytes_;
   metrics::Histogram* batch_apply_ms_;
   metrics::Histogram* batch_levels_;
   // Commit -> cache-visible latency per affected object, the paper's ≤60 s

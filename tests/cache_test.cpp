@@ -235,5 +235,101 @@ TEST(CacheTest, HitRateArithmetic) {
   EXPECT_DOUBLE_EQ(s.HitRate(), 0.99);
 }
 
+// --- composition plans ------------------------------------------------------
+
+// Builds the plan [ "A[" | frag:f | "]B" ] against a cached fragment.
+std::vector<PlanChunk> HotPlan(ObjectCache& cache) {
+  std::vector<PlanChunk> plan(3);
+  plan[0].text = "A[";
+  plan[1].fragment = "frag:f";
+  plan[1].source = cache.Peek("frag:f");
+  plan[1].fragment_version = plan[1].source->version;
+  plan[2].text = "]B";
+  return plan;
+}
+
+TEST(CacheTest, PutPlanComposesChunksAndHeaders) {
+  ObjectCache cache;
+  cache.Put("frag:f", "FRAG");
+  EXPECT_EQ(cache.PutPlan("/page", HotPlan(cache)), 1u);
+
+  const auto obj = cache.Lookup("/page");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_TRUE(obj->is_plan());
+  EXPECT_TRUE(obj->body.empty());          // plans hold no flat body
+  EXPECT_EQ(obj->entity_size(), 8u);       // "A[FRAG]B"
+  EXPECT_EQ(obj->Materialize(), "A[FRAG]B");
+  EXPECT_NE(obj->entity_headers.find("Content-Length: 8"), std::string::npos);
+
+  // One ref per non-empty chunk, concatenating to the entity, with the
+  // fragment chunk aliasing the pinned snapshot (no byte copies).
+  const auto refs = BodyChunkRefs(obj);
+  ASSERT_EQ(refs.size(), 3u);
+  std::string joined;
+  for (const auto& ref : refs) joined += *ref;
+  EXPECT_EQ(joined, "A[FRAG]B");
+  EXPECT_EQ(refs[1].get(), &cache.Peek("frag:f")->body);
+}
+
+TEST(CacheTest, PatchPlanSwapsFragmentSnapshot) {
+  ObjectCache cache;
+  cache.Put("frag:f", "FRAG");
+  cache.PutPlan("/page", HotPlan(cache));
+  const auto before = cache.Peek("/page");
+
+  cache.Put("frag:f", "FRESH!");
+  EXPECT_EQ(cache.PatchPlan("/page"), 2u);
+
+  const auto after = cache.Peek("/page");
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->version, before->version);
+  EXPECT_EQ(after->Materialize(), "A[FRESH!]B");
+  // Entity headers follow the new composed size without a re-render.
+  EXPECT_EQ(after->entity_size(), 10u);
+  EXPECT_NE(after->entity_headers.find("Content-Length: 10"),
+            std::string::npos);
+  EXPECT_EQ(cache.stats().plans_patched, 1u);
+  // The old snapshot is immutable: readers holding it keep the old bytes.
+  EXPECT_EQ(before->Materialize(), "A[FRAG]B");
+}
+
+TEST(CacheTest, PatchPlanRefusesAbsentFlatAndRetired) {
+  ObjectCache cache;
+  // Absent key: nothing to patch.
+  EXPECT_EQ(cache.PatchPlan("/nope"), 0u);
+  // Flat entry: not a plan.
+  cache.Put("/flat", "body");
+  EXPECT_EQ(cache.PatchPlan("/flat"), 0u);
+  // Plan whose fragment has been invalidated: the caller must re-render.
+  cache.Put("frag:f", "FRAG");
+  cache.PutPlan("/page", HotPlan(cache));
+  cache.Invalidate("frag:f");
+  EXPECT_EQ(cache.PatchPlan("/page"), 0u);
+  EXPECT_EQ(cache.stats().plans_patched, 0u);
+}
+
+TEST(CacheTest, PlanChunkRefsOutliveEviction) {
+  // Aliasing refs keep both the plan object and the pinned fragment
+  // snapshot alive after the cache drops every entry.
+  ObjectCache cache;
+  cache.Put("frag:f", "FRAG");
+  cache.PutPlan("/page", HotPlan(cache));
+  const auto refs = BodyChunkRefs(cache.Lookup("/page"));
+  cache.Clear();
+  std::string joined;
+  for (const auto& ref : refs) joined += *ref;
+  EXPECT_EQ(joined, "A[FRAG]B");
+}
+
+TEST(CacheTest, PlanBytesChargeTheFootprint) {
+  // The cache accounts static chunk text for plan entries, so bounded
+  // caches cannot be flooded by "weightless" plans.
+  ObjectCache cache;
+  cache.Put("frag:f", "FRAG");
+  const size_t before = cache.bytes();
+  cache.PutPlan("/page", HotPlan(cache));
+  EXPECT_GT(cache.bytes(), before);
+}
+
 }  // namespace
 }  // namespace nagano::cache

@@ -326,7 +326,7 @@ TEST(TriggerShutdownTest, StopDrainsQueuedChangesAndQuiesceReturns) {
   ASSERT_NE(cached, nullptr);
   const auto fresh = renderer.RenderOnly("/event/1");
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(cached->body, fresh.value());
+  EXPECT_EQ(cached->Materialize(), fresh.value());
   monitor.Stop();  // idempotent
 }
 

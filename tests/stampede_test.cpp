@@ -214,5 +214,132 @@ TEST_F(StampedeTest, HerdDegradesToSharedStaleCopyOnRendererFailure) {
   EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kThreads - 1));
 }
 
+// Two pages share one hot fragment. A 64-thread miss herd split across
+// both pages must cost exactly one fragment render (single-flight at
+// fragment granularity), and both cached plans must pin the same fragment
+// snapshot — the composed fan-out holds one copy of the hot bytes.
+TEST_F(StampedeTest, SharedHotFragmentRendersOnceUnderSplitHerd) {
+  constexpr int kThreads = 64;
+  std::atomic<int> fragment_renders{0};
+  renderer_.RegisterExact("frag:hot", [&](const pagegen::RenderRequest&) {
+    fragment_renders.fetch_add(1);
+    std::this_thread::sleep_for(50ms);
+    return Result<std::string>("<hot>");
+  });
+  for (const std::string page : {"/alpha", "/beta"}) {
+    renderer_.RegisterExact(page, [page](const pagegen::RenderRequest& req)
+                                      -> Result<std::string> {
+      auto hot = req.fragments("frag:hot");
+      if (!hot.ok()) return hot;
+      return "<" + page + ">" + hot.value() + "</>";
+    });
+  }
+  DynamicPageServer program(&cache_, &renderer_);
+
+  std::vector<ServeOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      outcomes[i] = program.Serve(i % 2 == 0 ? "/alpha" : "/beta",
+                                  /*include_body=*/true);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(fragment_renders.load(), 1);
+  for (int i = 0; i < kThreads; ++i) {
+    const std::string expect = i % 2 == 0 ? "</alpha><hot></>"
+                                          : "</beta><hot></>";
+    EXPECT_EQ(outcomes[i].body, expect);
+  }
+
+  // Both plans alias one pinned snapshot of the fragment.
+  const auto alpha = cache_.Peek("/alpha");
+  const auto beta = cache_.Peek("/beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  ASSERT_TRUE(alpha->is_plan());
+  ASSERT_TRUE(beta->is_plan());
+  const cache::CachedObject* snapshot = nullptr;
+  for (const auto* plan : {&alpha->plan, &beta->plan}) {
+    for (const auto& chunk : *plan) {
+      if (!chunk.is_fragment()) continue;
+      if (snapshot == nullptr) snapshot = chunk.source.get();
+      EXPECT_EQ(chunk.source.get(), snapshot);
+    }
+  }
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot, cache_.Peek("frag:hot").get());
+}
+
+// The composed pages over real sockets at every reactor count: a cold herd
+// per reactor configuration must still render the shared fragment exactly
+// once, and serving composed responses must never copy body bytes into the
+// write path (nagano_http_body_copies_total == 0) — the fragment chunks and
+// static chunks splice into the socket queue by reference.
+TEST_F(StampedeTest, ComposedFanOutZeroCopiesAtOneTwoEightReactors) {
+  std::atomic<int> fragment_renders{0};
+  renderer_.RegisterExact("frag:shared", [&](const pagegen::RenderRequest&) {
+    fragment_renders.fetch_add(1);
+    std::this_thread::sleep_for(20ms);
+    return Result<std::string>("[shared fragment]");
+  });
+  for (const std::string page : {"/left", "/right"}) {
+    renderer_.RegisterExact(page, [page](const pagegen::RenderRequest& req)
+                                      -> Result<std::string> {
+      auto hot = req.fragments("frag:shared");
+      if (!hot.ok()) return hot;
+      return "<" + page + ">" + hot.value() + "</>";
+    });
+  }
+  DynamicPageServer program(&cache_, &renderer_);
+
+  for (const size_t reactors : {size_t{1}, size_t{2}, size_t{8}}) {
+    cache_.Clear();
+    fragment_renders.store(0);
+    FrontEndOptions options;
+    options.http.reactors = reactors;
+    options.http.accept_mode = http::AcceptMode::kRoundRobin;
+    HttpFrontEnd front(&program, options);
+    ASSERT_TRUE(front.Start().ok()) << "reactors=" << reactors;
+
+    constexpr int kClients = 32;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        const std::string path = i % 2 == 0 ? "/left" : "/right";
+        const std::string expect = "<" + path + ">[shared fragment]</>";
+        auto resp =
+            http::HttpClient::FetchOnce("127.0.0.1", front.port(), path);
+        if (resp.ok() && resp.value().status == 200 &&
+            resp.value().body == expect) {
+          ok.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(ok.load(), kClients) << "reactors=" << reactors;
+    EXPECT_EQ(fragment_renders.load(), 1) << "reactors=" << reactors;
+
+    // A second, hit-only wave: every response is composed from the cached
+    // plan and must leave the copy counter untouched.
+    const uint64_t copies_after_herd = front.http_stats().body_copies;
+    for (const std::string path : {"/left", "/right"}) {
+      auto resp = http::HttpClient::FetchOnce("127.0.0.1", front.port(), path);
+      ASSERT_TRUE(resp.ok()) << "reactors=" << reactors;
+      EXPECT_EQ(resp.value().status, 200);
+      EXPECT_EQ(resp.value().body, "<" + path + ">[shared fragment]</>");
+    }
+    EXPECT_EQ(front.http_stats().body_copies, copies_after_herd)
+        << "reactors=" << reactors;
+    EXPECT_EQ(front.http_stats().body_copies, 0u)
+        << "reactors=" << reactors;
+    front.Stop();
+  }
+}
+
 }  // namespace
 }  // namespace nagano::server

@@ -92,7 +92,7 @@ std::optional<FeedDayOutcome> RunFeedDay(size_t worker_threads,
   uint64_t digest = 14695981039346656037ull;
   for (const auto& [key, object] : site.cache().Snapshot()) {
     digest = Fnv1a(key, digest);
-    digest = Fnv1a(object->body, digest);
+    digest = Fnv1a(object->Materialize(), digest);
     ++outcome.entries;
   }
   outcome.content_digest = digest;

@@ -121,7 +121,7 @@ TEST_F(TriggerTest, CachedBodiesMatchFreshRenderAfterQuiesce) {
     ++checked;
     const auto fresh = renderer_.RenderOnly(page);
     ASSERT_TRUE(fresh.ok()) << page;
-    EXPECT_EQ(cached->body, fresh.value()) << page << " is stale";
+    EXPECT_EQ(cached->Materialize(), fresh.value()) << page << " is stale";
   }
   EXPECT_GT(checked, 30u);
 }
@@ -227,7 +227,7 @@ TEST_F(TriggerTest, ParallelWorkersProduceSameResult) {
     ASSERT_NE(cached, nullptr) << page;
     const auto fresh = renderer_.RenderOnly(page);
     ASSERT_TRUE(fresh.ok());
-    EXPECT_EQ(cached->body, fresh.value()) << page;
+    EXPECT_EQ(cached->Materialize(), fresh.value()) << page;
   }
 }
 
