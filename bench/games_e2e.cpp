@@ -44,7 +44,9 @@ int main() {
   content.num_countries = 24;
 
   // Master: content + feed, no serving.
-  auto master_db = std::make_unique<db::Database>(&clock);
+  db::DatabaseOptions master_db_options;
+  master_db_options.clock = &clock;
+  auto master_db = std::make_unique<db::Database>(std::move(master_db_options));
   if (!pagegen::OlympicSite::Build(content, master_db.get()).ok()) return 1;
   db::Database* master = master_db.get();
 
@@ -55,7 +57,10 @@ int main() {
   const std::vector<std::string>& complexes = workload::Complexes();
   std::map<std::string, std::unique_ptr<core::ServingSite>> sites;
   for (const auto& name : complexes) {
-    auto replica = std::make_unique<db::Database>(&clock);
+    db::DatabaseOptions replica_db_options;
+    replica_db_options.clock = &clock;
+    auto replica =
+        std::make_unique<db::Database>(std::move(replica_db_options));
     if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) return 1;
     core::SiteOptions options;
     options.olympic = content;

@@ -339,7 +339,9 @@ int main(int argc, char** argv) {
     if (update.event_id == 0) continue;
     auto& touched = fanout_by_event[update.event_id];
     std::vector<odg::NodeId> changed;
-    for (const auto& change : site.db().ChangesSince(seqno_before)) {
+    auto batch = site.db().ReadChanges(site.db().CursorAtGlobal(seqno_before));
+    if (!batch.ok()) return 1;
+    for (const auto& change : batch.value().records) {
       for (const auto& node :
            pagegen::OlympicSite::MapChangeToDataNodes(change, site.db())) {
         const auto id = site.graph().Find(node);

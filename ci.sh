@@ -7,6 +7,7 @@
 #   ./ci.sh            # run the whole matrix
 #   ./ci.sh plain      # one leg: plain | asan | tsan | chaos | durability
 #                      #          | throughput | flashcrowd | fragments
+#                      #          | sharding
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -97,6 +98,27 @@ leg_fragments() {
   "${tree}/bench/update_latency" --quick
   echo "=== [fragments] OK ==="
 }
+# Sharding leg: the sharded-storage / parallel-recovery suites raced under
+# TSan (parallel shard replay fans WAL streams across a thread pool, and the
+# group-commit Sync() barrier is cross-shard lock choreography — a race
+# there corrupts recovered state), then the recovery bench's quick gate on
+# a plain tree: parallel replay must still scale >= 2x from 1 to 4 shards
+# (wall-clock on wide hosts, measured critical-path ratio on narrow ones)
+# without the sharded write path regressing. Shares the tsan and plain
+# trees.
+leg_sharding() {
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_leg tsan "thread" "-L sharding"
+  local tree="build-ci-plain"
+  echo "=== [sharding] configure ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="" > /dev/null
+  echo "=== [sharding] build ==="
+  cmake --build "${tree}" -j "${JOBS}" --target recovery_time -- -k > /dev/null
+  echo "=== [sharding] parallel-recovery quick gate ==="
+  "${tree}/bench/recovery_time" --quick
+  echo "=== [sharding] OK ==="
+}
 # Throughput smoke: one short cache-hit sweep against the committed
 # baseline (BENCH_throughput.json). The bench exits non-zero if the
 # single-reactor hit rate regresses more than 20% below the baseline or
@@ -123,8 +145,9 @@ case "${1:-all}" in
   throughput) leg_throughput ;;
   flashcrowd) leg_flashcrowd ;;
   fragments) leg_fragments ;;
+  sharding) leg_sharding ;;
   all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability
-         leg_throughput; leg_flashcrowd; leg_fragments ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|fragments|all]" >&2; exit 2 ;;
+         leg_throughput; leg_flashcrowd; leg_fragments; leg_sharding ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|fragments|sharding|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

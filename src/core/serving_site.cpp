@@ -9,6 +9,22 @@ Status SiteOptions::Validate() const {
   if (cache_shards < 1) {
     return InvalidArgumentError("SiteOptions.cache_shards must be >= 1");
   }
+  if (db_shards < 1) {
+    return InvalidArgumentError("SiteOptions.db_shards must be >= 1");
+  }
+  if (!shard_wals.empty() && shard_wals.size() != db_shards) {
+    return InvalidArgumentError(
+        "SiteOptions.shard_wals must be empty or carry one stream per "
+        "db shard");
+  }
+  if (wal != nullptr && !shard_wals.empty()) {
+    return InvalidArgumentError(
+        "SiteOptions: set wal or shard_wals, not both");
+  }
+  if (wal != nullptr && db_shards != 1) {
+    return InvalidArgumentError(
+        "SiteOptions: a sharded database takes shard_wals, not wal");
+  }
   if (Status s = trigger.Validate(); !s.ok()) return s;
   if (Status s = retry.Validate(); !s.ok()) return s;
   if (default_deadline < 0) {
@@ -29,6 +45,8 @@ db::DatabaseOptions DbOptionsFor(const SiteOptions& options) {
   db_options.faults = options.faults;
   db_options.metrics = options.metrics;
   db_options.wal = options.wal;
+  db_options.shards = options.db_shards;
+  db_options.shard_wals = options.shard_wals;
   db_options.change_log_retention = options.change_log_retention;
   return db_options;
 }
@@ -47,8 +65,9 @@ Result<std::unique_ptr<ServingSite>> ServingSite::Create(SiteOptions options) {
 
 Result<std::unique_ptr<ServingSite>> ServingSite::WarmRestart(
     SiteOptions options) {
-  if (options.wal == nullptr) {
-    return InvalidArgumentError("WarmRestart: SiteOptions.wal is required");
+  if (options.wal == nullptr && options.shard_wals.empty()) {
+    return InvalidArgumentError(
+        "WarmRestart: SiteOptions.wal (or shard_wals) is required");
   }
   if (Status s = options.Validate(); !s.ok()) return s;
   auto database = std::make_unique<db::Database>(DbOptionsFor(options));

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cache/fleet.h"
 #include "cache/object_cache.h"
@@ -46,8 +47,16 @@ struct SiteOptions : OptionsBase {
   fault::FaultInjector* faults = nullptr;
   // Durability: when set, the site's database write-ahead-logs every commit
   // into it, and WarmRestart() can rebuild the site from it after a crash.
-  // Not owned; must outlive the site.
+  // Not owned; must outlive the site. Single-stream convenience; a sharded
+  // site (db_shards > 1) uses shard_wals instead.
   wal::WriteAheadLog* wal = nullptr;
+  // Storage-tier sharding (db::DatabaseOptions::shards): partitions the
+  // site's database into this many independent shards, each with its own
+  // change-log sequence — and, when shard_wals is set (one stream per
+  // shard, e.g. from wal::OpenShardWals), its own WAL stream and
+  // checkpoint image, recovered in parallel by WarmRestart().
+  size_t db_shards = 1;
+  std::vector<wal::WriteAheadLog*> shard_wals;
   // In-memory change-log retention after checkpoints (db::DatabaseOptions::
   // change_log_retention; 0 = unbounded).
   size_t change_log_retention = 0;

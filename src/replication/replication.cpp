@@ -38,6 +38,7 @@ Status ReplicationTopology::ReattachNode(std::string_view name,
     return NotFoundError("ReattachNode: no node " + std::string(name));
   }
   n->database = database;
+  n->cursor_valid = false;  // re-derive from the recovered store's watermarks
   return Status::Ok();
 }
 
@@ -67,6 +68,7 @@ Status ReplicationTopology::SetFeed(std::string_view child,
   }
   c->feed = std::string(parent);
   c->lag = lag;
+  c->cursor_valid = false;  // new feed, new cursor
   return Status::Ok();
 }
 
@@ -126,36 +128,62 @@ size_t ReplicationTopology::PumpNode(Node& node) {
     node.feed = node.failover_feed;
     feed = backup;
     failovers_->Increment();
+    node.cursor_valid = false;  // re-derive against the backup feed
   }
 
-  const uint64_t local = node.database->LastSeqno();
+  if (!node.cursor_valid) {
+    // Derive the pull position from the child's own applied watermarks.
+    // With mirrored shard layouts the child's per-shard seqnos ARE the
+    // feed's; across layouts (an unsharded snapshot joining a sharded
+    // feed) fall back to locating the child's global watermark in the
+    // feed's logs.
+    if (node.database->shards() == feed->database->shards()) {
+      node.cursor = node.database->AppliedCursor();
+    } else {
+      node.cursor = feed->database->CursorAtGlobal(node.database->LastSeqno());
+    }
+    node.cursor_valid = true;
+  }
+
   const TimeNs now = clock_->Now();
   const TimeNs lag = node.lag + pull.delay;  // injected delay = lag spike
-  auto changes = feed->database->ReadChanges(local, 256);
-  if (!changes.ok()) {
+  auto batch_or = feed->database->ReadChanges(node.cursor, 256);
+  if (!batch_or.ok()) {
     // The feed's change log itself is unreadable this round; retry later.
-    // A kDataLoss answer means the feed truncated past our position after a
-    // checkpoint — count it as a gap; recovery is catching up out of band
-    // (warm restart) before pulling again.
-    if (changes.status().code() == ErrorCode::kDataLoss) gaps_->Increment();
+    if (batch_or.status().code() == ErrorCode::kDataLoss) gaps_->Increment();
     stalls_->Increment();
     return 0;
   }
+  db::ChangeBatch& batch = batch_or.value();
+  // Shards the feed truncated past our position (after a checkpoint): the
+  // cursor holds still there — recovery is catching up out of band (warm
+  // restart) — while the healthy shards below keep flowing.
+  if (!batch.gap_shards.empty()) gaps_->Increment(batch.gap_shards.size());
   size_t applied = 0;
-  for (const db::ChangeRecord& record : changes.value()) {
+  // A shard that observes a gap mid-round wedges for the rest of the round
+  // (its cursor stays put, so the next pump re-reads from the hole) without
+  // blocking its siblings.
+  std::vector<bool> wedged(feed->database->shards(), false);
+  for (const db::ChangeRecord& record : batch.records) {
     if (record.committed_at + lag > now) break;  // not yet arrived
+    if (record.shard < wedged.size() && wedged[record.shard]) continue;
     if (!fault::Check(faults_, "replication", node.name, "gap").ok()) {
-      // Drop this record on the floor: the next apply observes the gap as
-      // kDataLoss, and the following pump re-reads from the child's true
-      // applied seqno — exercising the §3 resynchronisation path.
+      // Drop this record on the floor without advancing its shard's
+      // cursor: the shard's next record observes the hole as kDataLoss,
+      // and the following pump re-reads the dropped record — the §3
+      // resynchronisation path, now scoped to one shard.
       continue;
     }
     Status s = node.database->ApplyReplicated(record);
     if (!s.ok()) {
-      // Gap (injected, or the feed itself is behind); retry next pump.
       if (s.code() == ErrorCode::kDataLoss) gaps_->Increment();
-      break;
+      if (record.shard < wedged.size()) wedged[record.shard] = true;
+      continue;
     }
+    if (node.cursor.positions.size() <= record.shard) {
+      node.cursor.positions.resize(record.shard + 1, 0);
+    }
+    node.cursor.positions[record.shard] = record.shard_seqno;
     apply_lag_.Add(ToMillis(now - record.committed_at));
     ++node.records_applied;
     ++applied;

@@ -7,12 +7,14 @@
 // was also capable of replicating the database to Schaumburg."
 //
 // Model: each node owns a Database. A child pulls its feed's change log
-// (ChangesSince) and applies records whose commit time plus the link lag
-// has passed — a deterministic store-and-forward model under SimClock.
-// ApplyReplicated() enforces dense seqnos, so delivery is provably in-order
-// and exactly-once. A node whose feed is down stalls until the feed
-// recovers or the operator (or auto-failover) re-parents it to a backup
-// feed — the Tokyo -> Schaumburg recovery path.
+// through a per-shard cursor (ReadChanges(ChangeCursor)) and applies
+// records whose commit time plus the link lag has passed — a deterministic
+// store-and-forward model under SimClock. ApplyReplicated() enforces dense
+// *per-shard* seqnos, so delivery is provably in-order and exactly-once
+// within each shard, and a gap in one shard's stream wedges only that
+// shard while the others keep flowing. A node whose feed is down stalls
+// until the feed recovers or the operator (or auto-failover) re-parents it
+// to a backup feed — the Tokyo -> Schaumburg recovery path.
 #pragma once
 
 #include <map>
@@ -115,6 +117,11 @@ class ReplicationTopology {
     TimeNs lag = 0;
     bool up = true;
     uint64_t records_applied = 0;
+    // Pull position in the feed's per-shard change feed. Invalid after
+    // attach / re-parent / warm restart; re-derived lazily from the child
+    // database's own applied watermarks on the next pump.
+    db::ChangeCursor cursor;
+    bool cursor_valid = false;
   };
 
   static ReplicationOptions WithClock(const Clock* clock) {

@@ -135,10 +135,9 @@ void TriggerMonitor::Start() {
   // first notification would replay the whole build log.
   {
     std::lock_guard<std::mutex> lock(seq_mutex_);
-    last_enqueued_seqno_ = db_->LastSeqno();
+    cursor_ = db_->AppliedCursor();
   }
-  subscription_ = db_->Subscribe(
-      [this](const db::ChangeRecord& change) { OnChange(change); });
+  subscription_ = db_->Subscribe(this, db::kAllShards);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -159,7 +158,7 @@ void TriggerMonitor::EnqueueChange(const db::ChangeRecord& change) {
   }
 }
 
-void TriggerMonitor::OnChange(const db::ChangeRecord& change) {
+void TriggerMonitor::OnChange(uint32_t shard, const db::ChangeRecord& change) {
   const auto fate = fault::Decide(faults_, "trigger", instance_, "notify");
   if (!fate.status.ok()) {
     // Lost notification. The commit is durable in the change log, so the
@@ -170,19 +169,26 @@ void TriggerMonitor::OnChange(const db::ChangeRecord& change) {
   std::vector<db::ChangeRecord> to_enqueue;
   {
     std::lock_guard<std::mutex> lock(seq_mutex_);
-    if (change.seqno > last_enqueued_seqno_ + 1) {
-      // Earlier notifications were dropped; recover them from the log in
-      // order, ahead of this change.
-      for (auto& missed : db_->ChangesSince(
-               last_enqueued_seqno_, change.seqno - last_enqueued_seqno_ - 1)) {
-        if (missed.seqno >= change.seqno) break;
-        to_enqueue.push_back(std::move(missed));
+    if (cursor_.positions.size() <= shard) {
+      cursor_.positions.resize(shard + 1, 0);
+    }
+    const uint64_t pos = cursor_.positions[shard];
+    if (change.shard_seqno > pos + 1) {
+      // Earlier notifications from this shard were dropped; recover them
+      // from the shard's log in order, ahead of this change. (A read
+      // failure leaves the hole for CatchUp — or skips records already
+      // truncated, exactly like the pre-cursor watermark did.)
+      auto missed_or =
+          db_->ReadShardChanges(shard, pos, change.shard_seqno - pos - 1);
+      if (missed_or.ok()) {
+        for (auto& missed : missed_or.value()) {
+          if (missed.shard_seqno >= change.shard_seqno) break;
+          to_enqueue.push_back(std::move(missed));
+        }
+        notifications_recovered_->Increment(to_enqueue.size());
       }
-      notifications_recovered_->Increment(to_enqueue.size());
     }
-    if (change.seqno > last_enqueued_seqno_) {
-      last_enqueued_seqno_ = change.seqno;
-    }
+    if (change.shard_seqno > pos) cursor_.positions[shard] = change.shard_seqno;
   }
   to_enqueue.push_back(change);
   for (uint32_t i = 0; i < fate.duplicates; ++i) to_enqueue.push_back(change);
@@ -195,12 +201,36 @@ size_t TriggerMonitor::CatchUp() {
   std::vector<db::ChangeRecord> to_enqueue;
   {
     std::lock_guard<std::mutex> lock(seq_mutex_);
-    to_enqueue = db_->ChangesSince(last_enqueued_seqno_);
+    // Two passes at most: the second only runs when a shard's records were
+    // truncated past the cursor — clamp to the oldest retained position
+    // and take what survives (the pre-cursor ChangesSince watermark
+    // skipped truncated records the same way, just silently).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto batch_or = db_->ReadChanges(cursor_);
+      if (!batch_or.ok()) break;
+      db::ChangeBatch& batch = batch_or.value();
+      for (auto& record : batch.records) {
+        to_enqueue.push_back(std::move(record));
+      }
+      cursor_ = std::move(batch.next);
+      if (batch.gap_shards.empty()) break;
+      const db::ChangeCursor retained = db_->RetainedCursor();
+      for (const uint32_t shard : batch.gap_shards) {
+        if (cursor_.positions.size() <= shard) {
+          cursor_.positions.resize(shard + 1, 0);
+        }
+        cursor_.positions[shard] =
+            std::max(cursor_.positions[shard], retained.at(shard));
+      }
+    }
     if (!to_enqueue.empty()) {
-      last_enqueued_seqno_ = to_enqueue.back().seqno;
       notifications_recovered_->Increment(to_enqueue.size());
     }
   }
+  std::sort(to_enqueue.begin(), to_enqueue.end(),
+            [](const db::ChangeRecord& a, const db::ChangeRecord& b) {
+              return a.seqno < b.seqno;
+            });
   for (const auto& record : to_enqueue) EnqueueChange(record);
   return to_enqueue.size();
 }

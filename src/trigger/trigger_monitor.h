@@ -148,7 +148,7 @@ struct TriggerStats {
   Histogram propagation_latency_ms;
 };
 
-class TriggerMonitor {
+class TriggerMonitor : public db::ChangeSink {
  public:
   // Names the underlying-data vertices a change touched.
   using ChangeMapper =
@@ -180,7 +180,7 @@ class TriggerMonitor {
   // the paper's ≤60 s freshness guarantee in queue form.
   uint64_t backlog() const;
 
-  // Re-reads the change log past the last enqueued seqno and enqueues
+  // Re-reads the change feed past the per-shard cursor and enqueues
   // anything missed — the recovery half of lossy notifications. The same
   // healing runs implicitly whenever a later notification arrives; CatchUp
   // forces it when no further change is coming. Returns changes recovered.
@@ -189,7 +189,10 @@ class TriggerMonitor {
   TriggerStats stats() const;
 
  private:
-  void OnChange(const db::ChangeRecord& change);
+  // db::ChangeSink: fires synchronously on every commit (subscribed with
+  // kAllShards — the monitor maintains the whole cache; per-shard
+  // subscriptions are for consumers owning a slice).
+  void OnChange(uint32_t shard, const db::ChangeRecord& change) override;
   // Pushes one record (counted for Quiesce), rolling back if the queue
   // already closed. Never called with seq_mutex_ held.
   void EnqueueChange(const db::ChangeRecord& change);
@@ -212,9 +215,11 @@ class TriggerMonitor {
   fault::FaultInjector* faults_;
   std::string instance_;  // fault-injection site name (== metrics label)
 
-  // Highest seqno ever enqueued; the gap-healing watermark.
+  // Per-shard positions of the highest change ever enqueued; the
+  // gap-healing watermark. A dropped notification shows up as a hole in
+  // one shard's dense numbering, healed from that shard's log alone.
   std::mutex seq_mutex_;
-  uint64_t last_enqueued_seqno_ = 0;
+  db::ChangeCursor cursor_;
 
   BlockingQueue<db::ChangeRecord> queue_;
   std::unique_ptr<ThreadPool> pool_;  // only when worker_threads > 1

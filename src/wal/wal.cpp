@@ -679,4 +679,23 @@ std::vector<std::string> WriteAheadLog::SegmentFiles() const {
   return out;
 }
 
+Result<ShardWalSet> OpenShardWals(WalOptions base, size_t shards) {
+  if (shards == 0) {
+    return InvalidArgumentError("OpenShardWals: shards must be >= 1");
+  }
+  ShardWalSet set;
+  set.wals.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    WalOptions stream = base;
+    stream.dir = base.dir + "/shard-" + std::to_string(k);
+    if (!stream.metrics.instance.empty()) {
+      stream.metrics.instance = base.metrics.instance + "/s" + std::to_string(k);
+    }
+    auto wal = WriteAheadLog::Open(std::move(stream));
+    if (!wal.ok()) return wal.status();
+    set.wals.push_back(std::move(wal).value());
+  }
+  return set;
+}
+
 }  // namespace nagano::wal

@@ -237,4 +237,25 @@ class WriteAheadLog {
   metrics::Counter* torn_tails_;
 };
 
+// --- sharded stream set -----------------------------------------------------
+
+// One WAL stream per database shard, opened under a common root:
+// <base.dir>/shard-<k>/. Each stream is independent — its own segments,
+// checkpoints, fsync schedule, and fault-injection instance
+// ("<base instance>/s<k>"), so a torn tail or injected fault wedges one
+// shard's stream without touching its siblings.
+struct ShardWalSet {
+  std::vector<std::unique_ptr<WriteAheadLog>> wals;
+
+  // Borrowed pointers in shard order, shaped for DatabaseOptions.shard_wals.
+  std::vector<WriteAheadLog*> pointers() const {
+    std::vector<WriteAheadLog*> out;
+    out.reserve(wals.size());
+    for (const auto& w : wals) out.push_back(w.get());
+    return out;
+  }
+};
+
+Result<ShardWalSet> OpenShardWals(WalOptions base, size_t shards);
+
 }  // namespace nagano::wal

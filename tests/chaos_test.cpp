@@ -1119,11 +1119,11 @@ TEST(ChaosDbTest, InjectedChangeLogErrorIsTransient) {
   options.faults = &faults;
   db::Database db(std::move(options));
 
-  auto first = db.ReadChanges(0, 16);
+  auto first = db.ReadChanges(db::ChangeCursor{}, 16);
   EXPECT_FALSE(first.ok());
   EXPECT_EQ(first.status().code(), ErrorCode::kUnavailable);
   EXPECT_TRUE(IsTransient(first.status()));
-  auto second = db.ReadChanges(0, 16);
+  auto second = db.ReadChanges(db::ChangeCursor{}, 16);
   EXPECT_TRUE(second.ok());
 }
 
@@ -1259,12 +1259,17 @@ struct RestartDrillRun {
   size_t cache_objects_verified = 0;
 };
 
-// One drill run. With crash=true, a single scripted `wal append` fault
-// tears Tokyo's WAL tail mid-ApplyReplicated inside the [30s, 40s) window;
-// the drill then kills the site (MarkDown + destroy, the WAL file keeps
-// the torn frame), reopens the WAL fifteen ticks later, warm-restarts the
-// site from checkpoint + tail, pulls the delta through replication, and
-// re-adds it to the serve ring once CaughtUp() and Health() agree it is
+// One drill run over a sharded store (ISSUE 8): every database in the tree
+// is partitioned into two shards, and Tokyo write-ahead-logs each shard
+// into its own stream under `wal_dir`. With crash=true, a single scripted
+// `wal append` fault tears the tail of Tokyo's *shard-0* stream
+// mid-ApplyReplicated after t=30s; the drill then kills the site
+// (MarkDown + destroy, the stream keeps the torn frame), reopens the
+// shard WALs fifteen ticks later, warm-restarts the site from the
+// per-shard checkpoints + tails (parallel replay), and heals exactly the
+// wounded shard through the per-shard replication cursor — shard 1's
+// position is untouched while shard 0 re-pulls its lost records. The site
+// re-enters the serve ring once CaughtUp() and Health() agree it is
 // ready. With crash=false the same seed runs undisturbed — the control
 // whose final page bytes the crashed run must match.
 RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
@@ -1273,6 +1278,7 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
   constexpr int kRequestsPerTick = 8;
   constexpr int kCheckpointTick = 20;  // pre-crash: recovery = ckpt + tail
   constexpr int kRestartDelayTicks = 15;
+  constexpr size_t kDbShards = 2;
 
   RestartDrillRun run;
   char line[512];
@@ -1284,7 +1290,7 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
   if (crash) {
     fault::FaultRule tear;
     tear.subsystem = "wal";
-    tear.site = "Tokyo-wal";
+    tear.site = "Tokyo-wal/s0";  // tears exactly one shard's stream
     tear.operation = "append";
     tear.kind = fault::FaultKind::kError;
     tear.error = ErrorCode::kUnavailable;
@@ -1307,6 +1313,9 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
   master_options.clock = &clock;
   master_options.metrics.registry = &registry;
   master_options.metrics.instance = "master";
+  // Replicas mirror the master's per-shard numbering record by record, so
+  // every store in the tree shares the shard layout.
+  master_options.shards = kDbShards;
   auto master = std::make_unique<db::Database>(std::move(master_options));
   if (!pagegen::OlympicSite::Build(content, master.get()).ok()) {
     ADD_FAILURE() << "OlympicSite::Build failed";
@@ -1321,16 +1330,18 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
   replication::ReplicationTopology topology(std::move(topo_options));
   EXPECT_TRUE(topology.AddNode("Nagano", master.get()).ok());
 
-  auto open_wal = [&]() -> std::unique_ptr<wal::WriteAheadLog> {
+  // One WAL stream per shard: <wal_dir>/shard-0, <wal_dir>/shard-1, with
+  // fault-injection instances Tokyo-wal/s0 and Tokyo-wal/s1.
+  auto open_wals = [&]() -> wal::ShardWalSet {
     wal::WalOptions wal_options;
     wal_options.dir = wal_dir;
     wal_options.clock = &clock;
     wal_options.faults = &faults;
     wal_options.metrics.registry = &registry;
     wal_options.metrics.instance = "Tokyo-wal";
-    auto wal_or = wal::WriteAheadLog::Open(std::move(wal_options));
-    EXPECT_TRUE(wal_or.ok()) << wal_or.status().message();
-    return wal_or.ok() ? std::move(wal_or.value()) : nullptr;
+    auto set_or = wal::OpenShardWals(std::move(wal_options), kDbShards);
+    EXPECT_TRUE(set_or.ok()) << set_or.status().message();
+    return set_or.ok() ? std::move(set_or.value()) : wal::ShardWalSet{};
   };
 
   auto tokyo_site_options = [&]() {
@@ -1347,16 +1358,17 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
   };
 
   // Tokyo: the durable replica under test. Its database write-ahead-logs
-  // every replicated commit into `wal_dir`.
-  std::unique_ptr<wal::WriteAheadLog> wal = open_wal();
-  if (wal == nullptr) return run;
+  // every replicated commit into its owning shard's stream under `wal_dir`.
+  wal::ShardWalSet wals = open_wals();
+  if (wals.wals.empty()) return run;
   std::map<std::string, std::unique_ptr<core::ServingSite>> sites;
   {
     db::DatabaseOptions replica_options;
     replica_options.clock = &clock;
     replica_options.metrics.registry = &registry;
     replica_options.metrics.instance = "Tokyo-db";
-    replica_options.wal = wal.get();
+    replica_options.shards = kDbShards;
+    replica_options.shard_wals = wals.pointers();
     auto replica = std::make_unique<db::Database>(std::move(replica_options));
     if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
       ADD_FAILURE() << "CreateSchema failed for Tokyo";
@@ -1381,6 +1393,7 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
     replica_options.clock = &clock;
     replica_options.metrics.registry = &registry;
     replica_options.metrics.instance = "Schaumburg-db";
+    replica_options.shards = kDbShards;  // same layout, no durability
     auto replica = std::make_unique<db::Database>(std::move(replica_options));
     if (!pagegen::OlympicSite::CreateSchema(replica.get()).ok()) {
       ADD_FAILURE() << "CreateSchema failed for Schaumburg";
@@ -1469,7 +1482,7 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
       crash_tick = t;
       EXPECT_TRUE(topology.MarkDown("Tokyo").ok());
       sites.erase("Tokyo");
-      wal.reset();
+      wals.wals.clear();
       std::snprintf(line, sizeof line,
                     "t=%3ds CRASH torn append, Tokyo down (master_seq=%llu)\n",
                     t, static_cast<unsigned long long>(master->LastSeqno()));
@@ -1483,11 +1496,14 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
     // catch-up target is reached and the cache is repopulated.
     if (run.crashed && !restarted && t == crash_tick + kRestartDelayTicks) {
       restarted = true;
-      wal = open_wal();
-      if (wal == nullptr) return run;
-      run.torn_tails = wal->stats().torn_tails;
+      wals = open_wals();
+      if (wals.wals.empty()) return run;
+      for (const auto& shard_wal : wals.wals) {
+        run.torn_tails += shard_wal->stats().torn_tails;
+      }
       core::SiteOptions site_options = tokyo_site_options();
-      site_options.wal = wal.get();
+      site_options.db_shards = kDbShards;
+      site_options.shard_wals = wals.pointers();
       auto site_or = core::ServingSite::WarmRestart(std::move(site_options));
       if (!site_or.ok()) {
         ADD_FAILURE() << "WarmRestart failed: " << site_or.status().message();
@@ -1509,6 +1525,21 @@ RestartDrillRun RunRestartDrill(bool crash, const std::string& wal_dir,
                     static_cast<unsigned long long>(run.catch_up_target),
                     static_cast<unsigned long long>(run.torn_tails));
       run.transcript += line;
+      // Fault isolation, shard by shard: the torn stream is flagged
+      // kDataLoss; its siblings recover healthy and the per-shard cursors
+      // heal only the wounded one.
+      const db::RecoveryReport& report =
+          sites.count("Tokyo") == 0U ? db::RecoveryReport{}
+                                     : sites["Tokyo"]->db().last_recovery();
+      for (size_t k = 0; k < report.shards.size(); ++k) {
+        std::snprintf(line, sizeof line,
+                      "         shard %zu: mark=%llu replayed=%llu ok=%d\n", k,
+                      static_cast<unsigned long long>(
+                          report.shards[k].shard_seqno),
+                      static_cast<unsigned long long>(report.shards[k].replayed),
+                      report.shards[k].status.ok() ? 1 : 0);
+        run.transcript += line;
+      }
     }
 
     // Rejoin: once replication has pulled the recovered database past the

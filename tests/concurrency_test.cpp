@@ -288,7 +288,7 @@ TEST(TriggerShutdownTest, StopDrainsQueuedChangesAndQuiesceReturns) {
   config.num_countries = 4;
   config.initial_news_articles = 2;
 
-  db::Database db;
+  db::Database db{db::DatabaseOptions{}};
   ASSERT_TRUE(pagegen::OlympicSite::Build(config, &db).ok());
   odg::ObjectDependenceGraph graph;
   cache::ObjectCache cache;

@@ -248,7 +248,7 @@ TEST_P(FragmentCompositionTest, ComposedPagesMatchWholePageRenders) {
   Rng rng(GetParam());
   const int kKeys = 6, kFragments = 5, kPages = 8, kCommits = 24;
 
-  db::Database db;
+  db::Database db{db::DatabaseOptions{}};
   ASSERT_TRUE(db.CreateTable("kv", {{"key", db::ColumnType::kString},
                                     {"val", db::ColumnType::kString}})
                   .ok());

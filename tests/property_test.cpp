@@ -296,7 +296,9 @@ TEST_P(ReplicationChaosTest, ConvergesAfterArbitraryInterleaving) {
   std::map<std::string, std::unique_ptr<db::Database>> dbs;
   const std::vector<std::string> nodes = {"master", "a", "b", "a1", "a2"};
   for (const auto& name : nodes) {
-    dbs[name] = std::make_unique<db::Database>(&clock);
+    db::DatabaseOptions db_options;
+    db_options.clock = &clock;
+    dbs[name] = std::make_unique<db::Database>(std::move(db_options));
     ASSERT_TRUE(
         dbs[name]->CreateTable("t", {{"k", db::ColumnType::kInt}}).ok());
     ASSERT_TRUE(topology.AddNode(name, dbs[name].get()).ok());
@@ -332,9 +334,15 @@ TEST_P(ReplicationChaosTest, ConvergesAfterArbitraryInterleaving) {
   topology.PumpUntilQuiet();
   EXPECT_TRUE(topology.Converged());
 
-  const auto master_log = dbs["master"]->ChangesSince(0);
+  const auto ReadFullLog = [](const db::Database& database) {
+    auto batch = database.ReadChanges(db::ChangeCursor{});
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    return batch.ok() ? std::move(batch.value().records)
+                      : std::vector<db::ChangeRecord>{};
+  };
+  const auto master_log = ReadFullLog(*dbs["master"]);
   for (const auto& name : nodes) {
-    const auto log = dbs[name]->ChangesSince(0);
+    const auto log = ReadFullLog(*dbs[name]);
     ASSERT_EQ(log.size(), master_log.size()) << name;
     for (size_t i = 0; i < log.size(); ++i) {
       EXPECT_EQ(log[i].seqno, master_log[i].seqno) << name;

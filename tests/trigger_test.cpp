@@ -52,7 +52,7 @@ class TriggerTest : public ::testing::Test {
   }
 
   OlympicConfig config_;
-  db::Database db_;
+  db::Database db_{db::DatabaseOptions{}};
   odg::ObjectDependenceGraph graph_;
   cache::ObjectCache cache_;
   pagegen::PageRenderer renderer_{&graph_, &cache_};

@@ -103,7 +103,7 @@ class SamplerTest : public ::testing::Test {
   }
 
   OlympicConfig config_;
-  db::Database db_;
+  db::Database db_{db::DatabaseOptions{}};
   odg::ObjectDependenceGraph graph_;
   cache::ObjectCache cache_;
   pagegen::PageRenderer renderer_{&graph_, &cache_};
