@@ -7,7 +7,7 @@
 #   ./ci.sh            # run the whole matrix
 #   ./ci.sh plain      # one leg: plain | asan | tsan | chaos | durability
 #                      #          | throughput | flashcrowd | fragments
-#                      #          | sharding
+#                      #          | sharding | dispatch
 #   ./ci.sh quick      # fast pre-push check: plain build, unit tests only
 #
 # Each leg configures its own build tree (build-ci-*) so the matrices never
@@ -119,6 +119,27 @@ leg_sharding() {
   "${tree}/bench/recovery_time" --quick
   echo "=== [sharding] OK ==="
 }
+# Dispatch leg: the dispatcher-tier suites (weighted P2C routing, advisor
+# health, drain, failover, rolling upgrade) raced under TSan — the proxy
+# path is multi-reactor epoll plus an advisor thread folding live EWMAs,
+# so a race there misroutes traffic. Then the AVAIL bench's quick gate on
+# a plain tree: a live dispatcher + 3 real-TCP backends must hold >= 99%
+# availability through a hard kill and a rolling upgrade, with the clean
+# drain losing zero requests (writes BENCH_dispatch.json). Shares the tsan
+# and plain trees.
+leg_dispatch() {
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_leg tsan "thread" "-L dispatch"
+  local tree="build-ci-plain"
+  echo "=== [dispatch] configure ==="
+  cmake -B "${tree}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAGANO_SANITIZE="" > /dev/null
+  echo "=== [dispatch] build ==="
+  cmake --build "${tree}" -j "${JOBS}" --target failover_availability -- -k > /dev/null
+  echo "=== [dispatch] real-TCP availability quick gate ==="
+  "${tree}/bench/failover_availability" --quick
+  echo "=== [dispatch] OK ==="
+}
 # Throughput smoke: one short cache-hit sweep against the committed
 # baseline (BENCH_throughput.json). The bench exits non-zero if the
 # single-reactor hit rate regresses more than 20% below the baseline or
@@ -146,8 +167,10 @@ case "${1:-all}" in
   flashcrowd) leg_flashcrowd ;;
   fragments) leg_fragments ;;
   sharding) leg_sharding ;;
+  dispatch) leg_dispatch ;;
   all)   leg_plain; leg_asan; leg_tsan; leg_chaos; leg_durability
-         leg_throughput; leg_flashcrowd; leg_fragments; leg_sharding ;;
-  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|fragments|sharding|all]" >&2; exit 2 ;;
+         leg_throughput; leg_flashcrowd; leg_fragments; leg_sharding
+         leg_dispatch ;;
+  *) echo "usage: $0 [plain|quick|asan|tsan|chaos|durability|throughput|flashcrowd|fragments|sharding|dispatch|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested legs passed"

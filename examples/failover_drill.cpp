@@ -1,21 +1,32 @@
 // failover_drill — walks the §4.2 "elegant degradation" chain one failure
-// at a time against the simulated four-complex fabric, narrating where
-// Japanese client traffic lands after each event.
+// at a time, narrating where client traffic lands after each event.
 //
-// The failures are not injected by hand: a deterministic FaultPlan scripts
-// kWindow outages on simulated time and the fabric syncs the window edges
-// to its own Fail*/Recover* chain while routing. The drill just advances
-// the clock and probes.
+// Default (sim): the four-complex fabric on simulated time. The failures
+// are not injected by hand: a deterministic FaultPlan scripts kWindow
+// outages and the fabric syncs the window edges to its own Fail*/Recover*
+// chain while routing. The drill just advances the clock and probes.
 //
-// Run: build/examples/failover_drill
+// --real: the same scripted kill timeline against a live dispatcher
+// topology (dispatch::DispatcherCluster — real TCP, wall-clock time): a
+// backend is hard-killed mid-drill, revived from its WAL, and another is
+// rolling-upgraded through a clean drain. The transcript format is
+// identical to the sim path's, for direct sim-vs-real comparison.
+//
+// Run: build/examples/failover_drill [--real]
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 
 #include "cluster/fabric.h"
 #include "cluster/net.h"
 #include "common/clock.h"
 #include "common/fault.h"
+#include "dispatch/cluster.h"
+#include "http/client.h"
 
 using namespace nagano;
 using namespace nagano::cluster;
@@ -58,9 +69,123 @@ fault::FaultRule Window(const char* site, const char* operation,
   return rule;
 }
 
+// --- the real-TCP drill ------------------------------------------------------
+
+// 120 one-shot requests through the live dispatcher; same line format as
+// the sim Probe (per-target counts, FAILED, worst response).
+struct RealTotals {
+  uint64_t requests = 0;
+  uint64_t failed = 0;
+};
+
+void ProbeReal(dispatch::DispatcherCluster& cluster, const char* stage,
+               RealTotals& totals) {
+  std::map<std::string, uint64_t> by_backend;
+  uint64_t failed = 0;
+  double worst_ms = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = http::HttpClient::FetchOnce("127.0.0.1", cluster.port(),
+                                         "/day/1");
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    ++totals.requests;
+    if (!r.ok() || r.value().status != 200) {
+      ++failed;
+      ++totals.failed;
+      continue;
+    }
+    ++by_backend[r.value().headers.at("X-Nagano-Backend")];
+    worst_ms = std::max(worst_ms, ms);
+  }
+  std::printf("%-44s", stage);
+  for (const auto& [name, count] : by_backend) {
+    std::printf(" %s:%llu", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  if (failed > 0) std::printf(" FAILED:%llu", (unsigned long long)failed);
+  std::printf("  (worst %.0f ms)\n", worst_ms);
+}
+
+int RunReal() {
+  char wal_tmpl[] = "/tmp/nagano-drill-wal-XXXXXX";
+  if (::mkdtemp(wal_tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  dispatch::ClusterOptions options;
+  options.olympic.days = 2;
+  options.olympic.num_sports = 2;
+  options.olympic.events_per_sport = 2;
+  options.olympic.athletes_per_event = 4;
+  options.olympic.num_countries = 4;
+  options.olympic.initial_news_articles = 2;
+  options.backends = 3;
+  options.wal_root = wal_tmpl;
+  options.dispatch.probe_interval = 10 * kMillisecond;
+  options.dispatch.connect_timeout = 200 * kMillisecond;
+  options.dispatch.drain_grace = 50 * kMillisecond;
+  options.metrics.instance = "drill";
+
+  dispatch::DispatcherCluster cluster(options);
+  if (Status s = cluster.Start(); !s.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Where do 120 requests land? (live dispatcher + 3 backends, "
+              "real TCP)\n\n");
+  RealTotals totals;
+  ProbeReal(cluster, "all healthy", totals);
+
+  (void)cluster.dispatcher().snapshots();
+  if (Status s = cluster.KillBackend(0); !s.ok()) {
+    std::fprintf(stderr, "kill failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ProbeReal(cluster, "b0 hard-killed (no drain)", totals);
+
+  if (Status s = cluster.ReviveBackend(0); !s.ok()) {
+    std::fprintf(stderr, "revive failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ProbeReal(cluster, "b0 revived from its WAL", totals);
+
+  if (Status s = cluster.RollingRestart(1); !s.ok()) {
+    std::fprintf(stderr, "rolling restart failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ProbeReal(cluster, "b1 rolling-upgraded (clean drain)", totals);
+  ProbeReal(cluster, "everything recovered", totals);
+
+  const dispatch::DispatcherStats stats = cluster.dispatcher().stats();
+  std::printf("\ndispatcher: %llu proxied, %llu failovers, %llu drains, "
+              "%llu probe failures\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.drains),
+              static_cast<unsigned long long>(stats.probe_failures));
+  std::printf("\ntotals: %llu requests, %llu served, %llu failed "
+              "(availability %.2f%%)\n",
+              static_cast<unsigned long long>(totals.requests),
+              static_cast<unsigned long long>(totals.requests - totals.failed),
+              static_cast<unsigned long long>(totals.failed),
+              totals.requests > 0
+                  ? 100.0 * double(totals.requests - totals.failed) /
+                        double(totals.requests)
+                  : 0.0);
+  cluster.Stop();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--real") == 0) return RunReal();
+  }
   SimClock clock;
   RegionCosts costs = RegionCosts::OlympicDefault();
 

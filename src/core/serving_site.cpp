@@ -192,6 +192,12 @@ server::HealthReport ServingSite::Health() const {
   if (propagation.count() > 0 && propagation.Percentile(0.99) > 60'000.0) {
     report.problems.push_back("propagation p99 above the 60 s freshness bound");
   }
+  // An administratively draining site fails /healthz so the dispatcher
+  // advisor stops assigning it new connections ahead of a restart.
+  if (draining()) {
+    report.problems.push_back("draining: administratively removed from "
+                              "rotation");
+  }
   // A warm-restarted site is alive but not ready: it must not take traffic
   // (or pass /healthz) until it has caught up to the fleet.
   if (!CaughtUp()) {

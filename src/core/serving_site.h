@@ -199,6 +199,17 @@ class ServingSite {
     return recovering_.load(std::memory_order_acquire);
   }
 
+  // --- administrative drain --------------------------------------------------
+  // Drain flag: while set, Health() reports "draining" (so a
+  // /healthz-polling dispatcher advisor steers new traffic away) even
+  // though the site itself keeps serving whatever still arrives. This is
+  // how a rolling upgrade announces intent before the front tier's
+  // connection drain starts.
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_release);
+  }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   // --- components -----------------------------------------------------------------
   db::Database& db() { return *db_; }
   odg::ObjectDependenceGraph& graph() { return *graph_; }
@@ -219,6 +230,7 @@ class ServingSite {
   // Warm-restart state: CaughtUp() clears recovering_ once the target is
   // reached, so the const Health() path can latch it.
   mutable std::atomic<bool> recovering_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint64_t> catch_up_target_{0};
   SiteOptions options_;
   const Clock* clock_;

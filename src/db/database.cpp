@@ -1245,38 +1245,6 @@ Result<std::vector<ChangeRecord>> Database::ReadShardChanges(
   return out;
 }
 
-std::vector<ChangeRecord> Database::ChangesSince(uint64_t after,
-                                                 size_t limit) const {
-  const size_t n = shards_.size();
-  std::vector<std::vector<ChangeRecord>> tails(n);
-  for (size_t k = 0; k < n; ++k) {
-    const Shard& shard = *shards_[k];
-    std::shared_lock lock(shard.mutex);
-    // Shard logs ascend in global seqno too — binary-search by it.
-    auto it = std::lower_bound(
-        shard.log.begin(), shard.log.end(), after + 1,
-        [](const ChangeRecord& r, uint64_t s) { return r.seqno < s; });
-    for (; it != shard.log.end() && tails[k].size() < limit; ++it) {
-      tails[k].push_back(*it);
-    }
-  }
-  std::vector<ChangeRecord> out;
-  std::vector<size_t> heads(n, 0);
-  while (out.size() < limit) {
-    size_t best = n;
-    for (size_t k = 0; k < n; ++k) {
-      if (heads[k] >= tails[k].size()) continue;
-      if (best == n ||
-          tails[k][heads[k]].seqno < tails[best][heads[best]].seqno) {
-        best = k;
-      }
-    }
-    if (best == n) break;
-    out.push_back(std::move(tails[best][heads[best]++]));
-  }
-  return out;
-}
-
 uint64_t Database::Subscribe(ChangeSink* sink, uint32_t shard) {
   std::lock_guard lock(sink_mutex_);
   const uint64_t id = next_sink_id_++;

@@ -314,14 +314,6 @@ class Database {
   // global watermark.
   ChangeCursor CursorAtGlobal(uint64_t seqno) const;
 
-  // Deprecated shim (one release): records with seqno > after, merged
-  // across shards, up to limit. Requests from before the retained head
-  // silently yield the retained suffix — no gap signal. New code uses
-  // ReadChanges(ChangeCursor).
-  [[deprecated("use ReadChanges(ChangeCursor) — per-shard cursors")]]
-  std::vector<ChangeRecord> ChangesSince(uint64_t after,
-                                         size_t limit = SIZE_MAX) const;
-
   // Sink fires synchronously on commit, outside the database locks, for
   // every change whose shard matches `shard` (kAllShards = no filter).
   // The sink must outlive the subscription.

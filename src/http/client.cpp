@@ -1,18 +1,42 @@
 #include "http/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 namespace nagano::http {
+namespace {
 
-HttpClient::HttpClient(std::string host, uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+timeval ToTimeval(TimeNs ns) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ns / kSecond);
+  tv.tv_usec = static_cast<suseconds_t>((ns % kSecond) / 1000);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
+}  // namespace
+
+Status HttpClient::Options::Validate() const {
+  if (connect_timeout < 0 || io_timeout < 0) {
+    return InvalidArgumentError("HttpClient::Options timeouts must be >= 0");
+  }
+  return Status::Ok();
+}
+
+HttpClient::HttpClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {
+  ValidateOrDie(options_, "HttpClient::Options");
+}
 
 HttpClient::~HttpClient() { Close(); }
 
@@ -21,6 +45,7 @@ void HttpClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  used_ = false;
 }
 
 Status HttpClient::EnsureConnected() {
@@ -36,44 +61,97 @@ Status HttpClient::EnsureConnected() {
     Close();
     return InvalidArgumentError("bad host " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (options_.connect_timeout > 0) {
+    // Bounded connect: non-blocking connect, poll for writability, read
+    // SO_ERROR for the verdict, then return the socket to blocking mode.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      if (errno != EINPROGRESS) {
+        Close();
+        return UnavailableError(std::string("connect: ") +
+                                std::strerror(errno));
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int timeout_ms =
+          static_cast<int>(std::max<TimeNs>(1, options_.connect_timeout / 1'000'000));
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) {
+        Close();
+        return UnavailableError("connect: timed out after " +
+                                std::to_string(timeout_ms) + " ms");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        Close();
+        return UnavailableError(std::string("connect: ") + std::strerror(err));
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
     Close();
     return UnavailableError(std::string("connect: ") + std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.io_timeout > 0) {
+    const timeval tv = ToTimeval(options_.io_timeout);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  ++connects_;
+  used_ = false;
   return Status::Ok();
 }
 
 Result<HttpResponse> HttpClient::RoundtripOnce(const HttpRequest& request) {
+  const bool reused = fd_ >= 0 && used_;
   if (Status s = EnsureConnected(); !s.ok()) return s;
 
   const std::string wire = request.Serialize();
+  last_sent_ = 0;
+  last_received_ = 0;
   size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       Close();
-      return UnavailableError(std::string("write: ") + std::strerror(errno));
+      return UnavailableError(timed_out
+                                  ? std::string("write: timed out")
+                                  : std::string("write: ") +
+                                        std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
+  last_sent_ = sent;
 
   ResponseParser parser;
   char buf[16 * 1024];
   for (;;) {
-    if (auto response = parser.Next()) return *response;
+    if (auto response = parser.Next()) {
+      if (reused) ++reuses_;
+      used_ = true;
+      return *response;
+    }
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       Close();
-      return UnavailableError(std::string("read: ") + std::strerror(errno));
+      return UnavailableError(timed_out ? std::string("read: timed out")
+                                        : std::string("read: ") +
+                                              std::strerror(errno));
     }
     if (n == 0) {
       Close();
       return UnavailableError("connection closed mid-response");
     }
+    last_received_ += static_cast<size_t>(n);
     if (Status s = parser.Feed(std::string_view(buf, size_t(n))); !s.ok()) {
       Close();
       return s;
@@ -88,6 +166,7 @@ Result<HttpResponse> HttpClient::Roundtrip(const HttpRequest& request) {
       r.status().code() == ErrorCode::kUnavailable) {
     // The server may have expired the idle keep-alive connection; retry on
     // a fresh one.
+    ++stale_reconnects_;
     r = RoundtripOnce(request);
   }
   if (r.ok()) {

@@ -91,6 +91,7 @@ struct HttpServer::Connection {
   size_t front_offset = 0;
   uint64_t served = 0;       // requests answered on this connection
   TimeNs last_activity = 0;  // wall clock; drives the idle sweep
+  ConnectionContext context;  // handler-visible per-connection state
   size_t pending = 0;        // queued output bytes not yet written
   bool close_after_flush = false;
   bool want_write = false;
@@ -186,6 +187,11 @@ HttpServer::HttpServer(Handler handler, Options options)
         "HTTP requests served, per reactor");
     reactors_.push_back(std::move(r));
   }
+}
+
+HttpServer::HttpServer(ContextHandler handler, Options options)
+    : HttpServer(Handler(), std::move(options)) {
+  context_handler_ = std::move(handler);
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -403,11 +409,15 @@ void HttpServer::AcceptNew(Reactor& r, int listen_fd) {
 }
 
 void HttpServer::AdoptConnection(Reactor& r, int fd) {
+  static std::atomic<uint64_t> next_connection_id{1};
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   Connection& conn = r.connections[fd];
   conn.fd = fd;
   conn.last_activity = RealClock::Instance().Now();
+  conn.context.reactor = r.index;
+  conn.context.connection_id =
+      next_connection_id.fetch_add(1, std::memory_order_relaxed);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
@@ -532,7 +542,9 @@ bool HttpServer::ProcessParsedRequests(Reactor& r, Connection& conn) {
     requests_->Increment();
     r.requests->Increment();
     if (conn.served++ > 0) keepalive_reuses_->Increment();
-    HttpResponse response = handler_(*request);
+    HttpResponse response = context_handler_ != nullptr
+                                ? context_handler_(*request, conn.context)
+                                : handler_(*request);
     if (!request->KeepAlive()) {
       response.headers["Connection"] = "close";
       conn.close_after_flush = true;

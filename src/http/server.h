@@ -64,9 +64,27 @@ enum class AcceptMode : uint8_t {
   kRoundRobin,
 };
 
+// Per-connection state a context-aware handler can read and mutate. The
+// context lives exactly as long as the connection and is only ever touched
+// from the owning reactor's thread, so a handler can keep per-connection
+// state in it without locks. The dispatcher tier pins its backend lease
+// (and the lease's keep-alive backend socket) in `user`, which is how
+// per-connection backend affinity survives across keep-alive requests.
+struct ConnectionContext {
+  size_t reactor = 0;        // index of the owning reactor
+  uint64_t connection_id = 0;  // process-unique, assigned at accept
+  // Handler-owned slot, released when the connection closes (on the
+  // reactor thread during normal closes, on the stopping thread at Stop()).
+  std::shared_ptr<void> user;
+};
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  // Context-aware variant: also receives the connection's mutable context
+  // (the streaming-proxy hook — see ConnectionContext).
+  using ContextHandler =
+      std::function<HttpResponse(const HttpRequest&, ConnectionContext&)>;
 
   struct Options : OptionsBase {
     std::string bind_address = "127.0.0.1";
@@ -106,6 +124,9 @@ class HttpServer {
 
   explicit HttpServer(Handler handler) : HttpServer(std::move(handler), Options()) {}
   HttpServer(Handler handler, Options options);
+  explicit HttpServer(ContextHandler handler)
+      : HttpServer(std::move(handler), Options()) {}
+  HttpServer(ContextHandler handler, Options options);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -156,6 +177,7 @@ class HttpServer {
   const std::string& DateLine(Reactor& r);
 
   Handler handler_;
+  ContextHandler context_handler_;  // exactly one of the two handlers is set
   Options options_;
   std::string instance_;  // metrics label (reactor sites derive from it)
   uint16_t port_ = 0;

@@ -203,8 +203,7 @@ size_t TriggerMonitor::CatchUp() {
     std::lock_guard<std::mutex> lock(seq_mutex_);
     // Two passes at most: the second only runs when a shard's records were
     // truncated past the cursor — clamp to the oldest retained position
-    // and take what survives (the pre-cursor ChangesSince watermark
-    // skipped truncated records the same way, just silently).
+    // and take what survives.
     for (int attempt = 0; attempt < 2; ++attempt) {
       auto batch_or = db_->ReadChanges(cursor_);
       if (!batch_or.ok()) break;

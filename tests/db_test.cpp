@@ -427,25 +427,6 @@ TEST(DbChangeLogTest, CommitTimesUseClock) {
   EXPECT_EQ(changes[1].committed_at, 15 * kSecond);
 }
 
-// The one sanctioned user of the deprecated raw-seqno shim (ISSUE 8 keeps
-// it for a single release). Everything else speaks ChangeCursor.
-TEST(DbChangeLogTest, DeprecatedChangesSinceShim) {
-  Database db = MakeDb();
-  CreateEventsTable(db);
-  for (int i = 1; i <= 10; ++i) {
-    ASSERT_TRUE(db.Upsert("events", {Value(int64_t(i)),
-                                     Value(std::string("e")), Value(0.0)})
-                    .ok());
-  }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(db.ChangesSince(7).size(), 3u);
-  EXPECT_EQ(db.ChangesSince(7, 2).size(), 2u);
-  EXPECT_EQ(db.ChangesSince(10).size(), 0u);
-  EXPECT_EQ(db.ChangesSince(3)[0].seqno, 4u);
-#pragma GCC diagnostic pop
-}
-
 // --- subscriptions -----------------------------------------------------------------
 
 TEST(DbSubscribeTest, SinkFiresOnCommit) {
@@ -706,12 +687,14 @@ TEST(DbRetentionTest, ReadChangesAroundTruncatedHead) {
     EXPECT_TRUE(gap.value().records.empty());
     EXPECT_EQ(gap.value().next.at(0), after);  // position held for resync
   }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // The deprecated shim stays infallible: it returns the retained suffix.
-  EXPECT_EQ(db.ChangesSince(0).size(), 4u);
-  EXPECT_EQ(db.ChangesSince(0).front().seqno, 7u);
-#pragma GCC diagnostic pop
+  // A consumer that only knows a global watermark re-parents through
+  // CursorAtGlobal, which clamps to the retained head: the read yields the
+  // retained suffix without a gap (the clamp already acknowledged the loss).
+  auto clamped = db.ReadChanges(db.CursorAtGlobal(0));
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_TRUE(clamped.value().gap_shards.empty());
+  EXPECT_EQ(clamped.value().records.size(), 4u);
+  EXPECT_EQ(clamped.value().records.front().seqno, 7u);
 
   // Past the end: empty, not a gap.
   auto past = db.ReadChanges(ChangeCursor{{10}});

@@ -329,6 +329,55 @@ TEST_F(LiveServerTest, KeepAliveServesManyOnOneConnection) {
   EXPECT_EQ(server_->stats().requests_served, 20u);
 }
 
+TEST_F(LiveServerTest, ClientReuseAccountingAndStaleReconnect) {
+  StartEcho();
+  HttpClient client("127.0.0.1", server_->port());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Get("/hello").ok()) << i;
+  }
+  // One connect paid, four roundtrips rode the pooled socket.
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(client.reuses(), 4u);
+  EXPECT_EQ(client.stale_reconnects(), 0u);
+  EXPECT_GT(client.last_received_bytes(), 0u);
+
+  // The server goes away and comes back (same situation as a keep-alive
+  // socket expired server-side): the client's next roundtrip finds the
+  // stale socket, reconnects transparently, and still answers.
+  const uint16_t port = server_->port();
+  server_->Stop();
+  server_ = std::make_unique<HttpServer>(
+      [](const HttpRequest&) { return HttpResponse::Ok("back"); },
+      [port] {
+        HttpServer::Options options;
+        options.port = port;
+        return options;
+      }());
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto resp = client.Get("/hello");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().body, "back");
+  EXPECT_EQ(client.stale_reconnects(), 1u);
+  EXPECT_EQ(client.connects(), 2u);
+}
+
+TEST_F(LiveServerTest, ClientHonorsConnectTimeoutAgainstDeadPort) {
+  // A port with (almost certainly) no listener: the bounded connect must
+  // fail fast with kUnavailable instead of hanging for the kernel default.
+  HttpClient::Options options;
+  options.connect_timeout = 50 * kMillisecond;
+  options.io_timeout = 50 * kMillisecond;
+  HttpClient client("127.0.0.1", 1, options);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto resp = client.Get("/hello");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), ErrorCode::kUnavailable);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
 TEST_F(LiveServerTest, PostBodyEchoed) {
   StartEcho();
   HttpClient client("127.0.0.1", server_->port());
